@@ -1,0 +1,36 @@
+"""A5 — speed-limit-aware prediction (the paper's future-work extension).
+
+Section 6 of the paper proposes letting the map-based prediction "use
+knowledge about the speed limits for the roads to appropriately change the
+mobile object's assumed speed".  This benchmark compares the evaluated
+protocol (assumed speed = reported speed) against variants that cap the
+assumed speed at a fraction of each link's speed limit, on the city scenario
+where the speed differences between arterials and residential streets are
+largest.
+"""
+
+from repro.experiments.ablations import speed_limit_prediction_ablation
+from repro.experiments.report import format_table
+from repro.mobility.scenarios import ScenarioName
+
+from conftest import run_once
+
+
+def test_speed_limit_prediction(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        speed_limit_prediction_ablation,
+        scenario_name=ScenarioName.CITY,
+        factors=(None, 1.2, 1.0, 0.9),
+        accuracy=100.0,
+        scale=min(scale, 0.5),
+    )
+    print()
+    print(format_table(rows, title="A5 — speed-limit-aware prediction (city, us=100 m)"))
+    rates = {row["speed_limit_factor"]: row["updates_per_hour"] for row in rows}
+    errors = {row["speed_limit_factor"]: row["max_error_m"] for row in rows}
+    # The extension must not break the accuracy guarantee...
+    assert all(e <= 100.0 + 60.0 for e in errors.values())
+    # ...and a moderate cap must not be dramatically worse than the paper's
+    # protocol (it mainly changes behaviour right after speed changes).
+    assert rates[1.0] <= rates["none (paper)"] * 1.3

@@ -1,0 +1,36 @@
+"""A3 — ablation of the intersection turn policy (paper Sec. 3).
+
+The paper's prediction selects "the link with the smallest angle to the
+previous link"; it mentions selecting the main road as the ideal and the
+*map-based with probability information* variant as an improvement for
+frequent intersections, and uses the known-route protocol as the upper
+bound.  This ablation compares all four on the city scenario, where
+intersections are frequent enough for the choice to matter.
+"""
+
+from repro.experiments.ablations import turn_policy_ablation
+from repro.experiments.report import format_table
+from repro.mobility.scenarios import ScenarioName
+
+from conftest import run_once
+
+
+def test_turn_policy_ablation(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        turn_policy_ablation,
+        scenario_name=ScenarioName.CITY,
+        accuracy=100.0,
+        scale=min(scale, 0.5),
+    )
+    print()
+    print(format_table(rows, title="A3 — intersection turn policy (city, us=100 m)"))
+    rates = {row["policy"]: row["updates_per_hour"] for row in rows}
+    # The known route is (essentially) the lower bound for any turn policy —
+    # small deviations are possible because the map-based variants transmit
+    # corrected positions while the known-route protocol transmits raw ones.
+    assert rates["known route"] <= rates["smallest angle"]
+    assert rates["known route"] <= rates["turn probabilities"] * 1.15
+    # Turn probabilities learned from the object's own history cannot be
+    # (meaningfully) worse than pure geometry.
+    assert rates["turn probabilities"] <= rates["smallest angle"] * 1.05

@@ -1,0 +1,33 @@
+"""A1 — ablation of the map-matching tolerance ``um`` (paper Sec. 3).
+
+The paper introduces ``um`` as the parameter that "determines how exact the
+position must be matched to a link and reflects the accuracy of the sensor
+system" but does not evaluate it.  This ablation sweeps ``um`` on the
+freeway scenario and reports update rate, matching accuracy and off-map
+events.
+"""
+
+from repro.experiments.ablations import matching_tolerance_ablation
+from repro.experiments.report import format_table
+from repro.mobility.scenarios import ScenarioName
+
+from conftest import run_once
+
+
+def test_matching_tolerance_ablation(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        matching_tolerance_ablation,
+        scenario_name=ScenarioName.FREEWAY,
+        tolerances=(5.0, 10.0, 20.0, 30.0, 50.0),
+        accuracy=100.0,
+        scale=min(scale, 0.5),
+    )
+    print()
+    print(format_table(rows, title="A1 — matching tolerance um (freeway, us=100 m)"))
+    by_um = {row["um [m]"]: row for row in rows}
+    # A tolerance well below the sensor noise loses the map (more off-map
+    # events) than a tolerance comfortably above it.
+    assert by_um[5.0]["off_map_events"] >= by_um[30.0]["off_map_events"]
+    # With a sane tolerance the matcher identifies the correct link almost always.
+    assert by_um[30.0]["match_accuracy"] > 0.9

@@ -1,0 +1,42 @@
+"""A2 — ablation of the speed/heading estimation window *n* (paper Sec. 4).
+
+The paper interpolates speed and direction from the last 2 (freeway),
+4 (city / inter-urban) or 8 (walking) position sightings and states that
+these values were found to be optimal.  This ablation sweeps the window for
+two contrasting scenarios and reports the resulting update rates of the
+linear-prediction protocol.
+"""
+
+from repro.experiments.ablations import estimation_window_ablation
+from repro.experiments.report import format_table
+from repro.mobility.scenarios import ScenarioName
+
+from conftest import run_once
+
+
+def run_both(scale):
+    freeway = estimation_window_ablation(
+        ScenarioName.FREEWAY, windows=(2, 4, 8, 16), accuracy=50.0, scale=min(scale, 0.5)
+    )
+    walking = estimation_window_ablation(
+        ScenarioName.WALKING, windows=(2, 4, 8, 16), accuracy=50.0, scale=min(scale, 1.0)
+    )
+    return freeway, walking
+
+
+def test_estimation_window_ablation(benchmark, scale):
+    freeway, walking = run_once(benchmark, run_both, scale)
+    print()
+    print(format_table(freeway, title="A2 — estimation window (freeway, us=50 m)"))
+    print()
+    print(format_table(walking, title="A2 — estimation window (walking, us=50 m)"))
+
+    # For the fast, steady freeway a short window is sufficient: making it
+    # very long (16 samples, i.e. 16 seconds of driving) cannot help much and
+    # the update rate stays within a factor of ~2 across the sweep.
+    freeway_rates = {row["window"]: row["updates_per_hour"] for row in freeway}
+    assert freeway_rates[2.0] <= 2.0 * min(freeway_rates.values())
+    # For the slow, noisy walking scenario a longer window (the paper's n=8)
+    # must not be worse than the shortest one.
+    walking_rates = {row["window"]: row["updates_per_hour"] for row in walking}
+    assert walking_rates[8.0] <= walking_rates[2.0] * 1.05

@@ -1,0 +1,35 @@
+"""A4 — Wolfson-style adaptive dead-reckoning strategies (paper Sec. 5).
+
+The related-work section discusses the sdr/adr/dtdr policies of Wolfson et
+al., which trade accuracy against update cost instead of guaranteeing a
+fixed bound.  This benchmark compares them (plus higher-order prediction,
+the other non-evaluated variant of Sec. 2) against plain linear-prediction
+DR on the freeway scenario, reporting both update rate and the error
+actually delivered.
+"""
+
+from repro.experiments.ablations import adaptive_strategy_comparison
+from repro.experiments.report import format_table
+from repro.mobility.scenarios import ScenarioName
+
+from conftest import run_once
+
+
+def test_adaptive_strategies(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        adaptive_strategy_comparison,
+        scenario_name=ScenarioName.FREEWAY,
+        threshold=100.0,
+        scale=min(scale, 0.5),
+    )
+    print()
+    print(format_table(rows, title="A4 — adaptive dead-reckoning strategies (freeway, th=100 m)"))
+    rates = {row["strategy"]: row["updates_per_hour"] for row in rows}
+    errors = {row["strategy"]: row["mean_error_m"] for row in rows}
+    # sdr is linear DR under another name: identical update rates.
+    assert rates["sdr"] == rates["linear dr"]
+    # dtdr shrinks its threshold while silent, so it can only send more
+    # updates (and deliver a smaller mean error) than the fixed threshold.
+    assert rates["dtdr"] >= rates["sdr"]
+    assert errors["dtdr"] <= errors["sdr"] + 1e-9

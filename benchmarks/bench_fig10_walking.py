@@ -1,0 +1,25 @@
+"""E7 — Figure 10: walking person.
+
+Same protocol comparison for the pedestrian scenario, with the requested
+accuracy swept from 20 m to 250 m.  The paper notes that this is the one
+case where the linear protocol can need fewer updates than the map-based
+one (at the smallest requested uncertainty) and that the relative advantage
+of dead reckoning shrinks as the uncertainty grows.
+"""
+
+from repro.experiments.figures import figure10
+
+from conftest import run_once
+from figure_common import assert_figure_shape, print_figure
+
+
+def test_figure10_walking(benchmark, scale):
+    figure = run_once(benchmark, figure10, scale=scale)
+    print_figure(figure, "Fig. 10 — walking person")
+    assert_figure_shape(figure, map_should_win=False)
+    # Dead reckoning still helps at tight accuracies...
+    linear_rel = figure.series["linear"].relative_to(figure.baseline)
+    assert linear_rel[0] < 90.0
+    # ...but the advantage fades towards the loose end of the sweep, where
+    # the update rates of all protocols are within a factor of ~2.
+    assert linear_rel[-1] > 45.0

@@ -1,0 +1,24 @@
+"""E4 — Figure 7: freeway traffic.
+
+Updates per hour (absolute and relative to distance-based reporting) for the
+distance-based, linear-prediction and map-based protocols, with the
+requested accuracy swept from 20 m to 500 m.
+"""
+
+from repro.experiments.figures import figure7
+
+from conftest import run_once
+from figure_common import assert_figure_shape, print_figure
+
+
+def test_figure7_freeway(benchmark, scale):
+    figure = run_once(benchmark, figure7, scale=scale)
+    print_figure(figure, "Fig. 7 — freeway traffic")
+    assert_figure_shape(figure, map_should_win=True)
+    # The paper's headline numbers for the freeway: linear DR cuts updates by
+    # up to 83% vs distance-based reporting; map-based DR cuts them by up to
+    # another 60% vs linear DR.  The synthetic scenario reproduces the
+    # direction and rough size of both effects.
+    assert figure.reduction_vs_baseline("linear") >= 60.0
+    assert figure.reduction_between("map", "linear") >= 30.0
+    assert figure.reduction_vs_baseline("map") >= 80.0

@@ -1,0 +1,17 @@
+"""E5 — Figure 8: inter-urban traffic.
+
+Same protocol comparison as Figure 7 for the inter-urban scenario.
+"""
+
+from repro.experiments.figures import figure8
+
+from conftest import run_once
+from figure_common import assert_figure_shape, print_figure
+
+
+def test_figure8_interurban(benchmark, scale):
+    figure = run_once(benchmark, figure8, scale=scale)
+    print_figure(figure, "Fig. 8 — inter-urban traffic")
+    assert_figure_shape(figure, map_should_win=True)
+    assert figure.reduction_vs_baseline("linear") >= 50.0
+    assert figure.reduction_vs_baseline("map") >= 60.0

@@ -1,0 +1,23 @@
+"""E6 — Figure 9: city traffic.
+
+Same protocol comparison as Figure 7 for the city scenario.  The paper's
+result: dead reckoning still helps (up to ~63% fewer updates than
+distance-based reporting), but the advantage of the map over the line is
+smaller than on the freeway because of the frequent intersections.
+"""
+
+from repro.experiments.figures import figure9
+
+from conftest import run_once
+from figure_common import assert_figure_shape, print_figure
+
+
+def test_figure9_city(benchmark, scale):
+    figure = run_once(benchmark, figure9, scale=scale)
+    print_figure(figure, "Fig. 9 — city traffic")
+    assert_figure_shape(figure, map_should_win=False)
+    assert figure.reduction_vs_baseline("linear") >= 40.0
+    # Map-based DR does not fall behind linear DR by much anywhere on the sweep.
+    map_rates = figure.series["map"].updates_per_hour
+    linear_rates = figure.series["linear"].updates_per_hour
+    assert all(m <= l * 1.35 for m, l in zip(map_rates, linear_rates))

@@ -1,0 +1,42 @@
+"""E8 — headline reductions quoted in the abstract and Section 4.
+
+"While a simple dead-reckoning protocol already reduces the number of update
+messages by up to 83%, the map-based protocol further reduces their number
+by again up to 60%." (overall up to 91%, Sec. 6)
+
+This benchmark computes, for every scenario, the maximum reduction of
+linear-prediction DR vs distance-based reporting, of map-based DR vs linear
+DR and of map-based DR vs distance-based reporting over the accuracy sweep.
+"""
+
+from repro.experiments.figures import headline_reductions
+from repro.experiments.report import format_table
+
+from conftest import run_once
+
+#: The paper's quoted maxima, for side-by-side printing.
+PAPER_HEADLINES = {
+    "freeway": {"linear_vs_distance_pct": 83.0, "map_vs_linear_pct": 60.0, "map_vs_distance_pct": 91.0},
+    "city": {"linear_vs_distance_pct": 63.0},
+}
+
+
+def test_headline_reductions(benchmark, scale):
+    reductions = run_once(benchmark, headline_reductions, scale=scale)
+    rows = []
+    for scenario, values in reductions.items():
+        row = {"scenario": scenario}
+        row.update(values)
+        for key, paper_value in PAPER_HEADLINES.get(scenario, {}).items():
+            row[f"paper {key}"] = paper_value
+        rows.append(row)
+    print()
+    print(format_table(rows, title="Maximum update-rate reductions (percent)"))
+
+    freeway = reductions["freeway"]
+    # Direction and rough magnitude of the paper's headline claims.
+    assert freeway["linear_vs_distance_pct"] >= 60.0
+    assert freeway["map_vs_linear_pct"] >= 30.0
+    assert freeway["map_vs_distance_pct"] >= 80.0
+    # The freeway benefits more from the map than the city (Sec. 4).
+    assert freeway["map_vs_linear_pct"] >= reductions["city"]["map_vs_linear_pct"]

@@ -1,0 +1,39 @@
+"""A6 — robustness against lost update messages (disconnections).
+
+Wolfson's *disconnection detection dead reckoning* (dtdr), summarised in the
+paper's related-work section, exists because a lossy or disconnected uplink
+makes a silent source indistinguishable from a perfectly predicted one.
+This benchmark measures how the accuracy delivered at the server degrades
+with increasing message-loss probability for plain linear-prediction DR and
+for dtdr on the freeway scenario.
+"""
+
+from repro.experiments.ablations import message_loss_robustness
+from repro.experiments.report import format_table
+from repro.mobility.scenarios import ScenarioName
+
+from conftest import run_once
+
+
+def test_message_loss_robustness(benchmark, scale):
+    rows = run_once(
+        benchmark,
+        message_loss_robustness,
+        scenario_name=ScenarioName.FREEWAY,
+        loss_probabilities=(0.0, 0.02, 0.05, 0.1),
+        accuracy=100.0,
+        scale=min(scale, 0.5),
+    )
+    print()
+    print(format_table(rows, title="A6 — message-loss robustness (freeway, us=100 m)"))
+
+    def by(protocol, loss):
+        return next(r for r in rows if r["protocol"] == protocol and r["loss"] == loss)
+
+    # Losses hurt: the p95 error of linear DR grows with the loss probability.
+    assert by("linear dr", 0.1)["p95_error_m"] >= by("linear dr", 0.0)["p95_error_m"]
+    # dtdr sends more updates than plain linear DR under the same conditions
+    # (its threshold shrinks while it hears nothing back)...
+    assert by("dtdr", 0.1)["updates_per_hour"] >= by("linear dr", 0.1)["updates_per_hour"]
+    # ...and that redundancy buys a smaller tail error under heavy loss.
+    assert by("dtdr", 0.1)["p95_error_m"] <= by("linear dr", 0.1)["p95_error_m"] * 1.05

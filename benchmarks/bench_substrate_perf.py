@@ -1,0 +1,104 @@
+"""Performance micro-benchmarks of the substrates.
+
+Not part of the paper's evaluation, but useful for keeping the simulation
+fast (the figure benchmarks replay hours of 1 Hz data): spatial-index
+queries, polyline projection, map matching and the map-based prediction are
+the hot paths of the protocol loop.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.geo.polyline import Polyline
+from repro.mapmatching.matcher import IncrementalMapMatcher, MatcherConfig
+from repro.protocols.base import ObjectState
+from repro.protocols.prediction import MapPrediction
+from repro.roadmap.generators import city_grid_map, freeway_map
+
+
+@pytest.fixture(scope="module")
+def city():
+    return city_grid_map(rows=16, cols=16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def freeway():
+    return freeway_map(length_km=60.0, seed=0)
+
+
+def test_perf_nearest_link_queries(benchmark, city):
+    rng = random.Random(0)
+    bounds = city.bounds()
+    queries = [
+        (rng.uniform(bounds.min_x, bounds.max_x), rng.uniform(bounds.min_y, bounds.max_y))
+        for _ in range(500)
+    ]
+
+    def run():
+        hits = 0
+        for q in queries:
+            if city.nearest_link(q, max_distance=200.0) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
+
+
+def test_perf_polyline_projection(benchmark):
+    rng = np.random.default_rng(0)
+    points = np.cumsum(rng.normal(0.0, 50.0, size=(200, 2)), axis=0)
+    polyline = Polyline(points)
+    queries = rng.normal(0.0, 500.0, size=(500, 2))
+
+    def run():
+        total = 0.0
+        for q in queries:
+            total += polyline.project(q)[2]
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_perf_incremental_matching(benchmark, freeway):
+    # Positions along the motorway with a small lateral offset.
+    link = max(freeway.links.values(), key=lambda l: l.length)
+    offsets = np.linspace(0.0, link.length, 1000)
+    positions = [link.point_at(o) + np.array([0.0, 3.0]) for o in offsets]
+    heading = link.direction_at(0.0)
+
+    def run():
+        matcher = IncrementalMapMatcher(freeway, MatcherConfig(tolerance=30.0))
+        matched = 0
+        for p in positions:
+            if matcher.update(p, heading=heading).is_matched:
+                matched += 1
+        return matched
+
+    matched = benchmark(run)
+    assert matched >= 990
+
+
+def test_perf_map_prediction(benchmark, freeway):
+    link = next(iter(freeway.links.values()))
+    state = ObjectState(
+        time=0.0,
+        position=link.point_at(0.0),
+        velocity=link.direction_at(0.0) * 30.0,
+        speed=30.0,
+        link_id=link.id,
+        link_offset=0.0,
+    )
+    prediction = MapPrediction(freeway)
+    horizons = np.linspace(1.0, 600.0, 500)
+
+    def run():
+        total = 0.0
+        for horizon in horizons:
+            total += float(prediction.predict(state, float(horizon))[0])
+        return total
+
+    benchmark(run)

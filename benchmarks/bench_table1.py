@@ -1,0 +1,22 @@
+"""E1 — Table 1: characteristics of the traces used for the simulation.
+
+Regenerates the paper's Table 1 (length, duration, average and maximum speed
+of the four movement scenarios) from the synthetic scenario generators and
+prints it next to the paper's reference values.
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import table1
+
+from conftest import run_once
+
+
+def test_table1(benchmark, scale):
+    rows = run_once(benchmark, table1, scale=scale)
+    print()
+    print(format_table([row.as_dict() for row in rows], title="Table 1 (measured vs paper)"))
+    # Sanity of the reproduction: all four scenarios present, speeds ordered
+    # freeway > inter-urban > city > walking as in the paper.
+    speeds = [row.measured.average_speed_kmh for row in rows]
+    assert len(rows) == 4
+    assert speeds[0] > speeds[1] > speeds[2] > speeds[3]

@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index) and prints the reproduced rows/series so
+the numbers can be compared against the paper directly from the benchmark
+output.
+
+The scenario scale defaults to the paper's full trace lengths; set the
+environment variable ``REPRO_BENCH_SCALE`` (e.g. ``0.25``) to run shorter
+routes when wall-clock time matters more than statistics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Route-length scale used by the benchmarks (env: REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """The benchmark scenario scale."""
+    return bench_scale()
+
+
+def pytest_configure(config):
+    """Make the reproduced tables visible in plain benchmark runs.
+
+    The benchmarks print the regenerated paper tables and ASCII figures;
+    ``-rP`` adds the captured output of passed tests to the terminal summary
+    so a plain ``pytest benchmarks/ --benchmark-only`` run (or one piped
+    through ``tee``) records them without needing ``-s``.
+    """
+    config.option.reportchars = (getattr(config.option, "reportchars", "") or "") + "P"
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run *func* exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic end-to-end simulations lasting seconds
+    to minutes; statistical repetition would only waste time, so every
+    benchmark uses a single round.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

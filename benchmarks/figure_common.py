@@ -1,0 +1,49 @@
+"""Shared helpers for the Figure 7-10 benchmarks."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import format_series_chart, format_table
+
+
+def print_figure(figure: FigureResult, title: str) -> None:
+    """Print a figure's data as a table plus ASCII charts (left/right plots)."""
+    print()
+    print(format_table(figure.as_rows(), title=title))
+    accuracies = figure.baseline.accuracies
+    absolute = {s.label: s.updates_per_hour for s in figure.series.values()}
+    print()
+    print(format_series_chart(accuracies, absolute, y_label="updates/h"))
+    relative = {
+        figure.series[pid].label: values
+        for pid, values in figure.relative_series().items()
+        if pid != "distance"
+    }
+    print()
+    print(
+        format_series_chart(
+            accuracies, relative, y_label="% of distance-based reporting"
+        )
+    )
+
+
+def assert_figure_shape(figure: FigureResult, map_should_win: bool = True) -> None:
+    """Assert the qualitative shape shared by Figures 7-10.
+
+    * Every curve decreases (weakly) as the requested uncertainty grows.
+    * Linear-prediction DR stays below the distance-based baseline.
+    * When *map_should_win*, the map-based curve is not above the linear one
+      over most of the sweep.
+    """
+    for series in figure.series.values():
+        rates = series.updates_per_hour
+        assert rates[0] >= rates[-1], f"{series.label} does not decrease with us"
+
+    linear_rel = figure.series["linear"].relative_to(figure.baseline)
+    assert min(linear_rel) < 100.0, "linear DR never beats distance-based reporting"
+
+    if map_should_win:
+        map_rates = figure.series["map"].updates_per_hour
+        linear_rates = figure.series["linear"].updates_per_hour
+        wins = sum(1 for m, l in zip(map_rates, linear_rates) if m <= l * 1.05)
+        assert wins >= len(map_rates) / 2, "map-based DR loses to linear DR on most of the sweep"

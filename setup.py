@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that the package can also be installed in environments whose tooling lacks
+PEP-660 editable-install support (e.g. offline machines without the
+``wheel`` package), via ``pip install -e . --no-use-pep517`` or
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro — map-based dead-reckoning protocols for updating location information.
+
+A from-scratch reproduction of
+
+    A. Leonhardi, C. Nicu, K. Rothermel,
+    "A Map-based Dead-reckoning Protocol for Updating Location Information",
+    University of Stuttgart, Technical Report 2001/09 (IPPS 2002 workshops).
+
+The package contains the full stack the paper's evaluation needs: planar
+geometry and spatial indexes, a road-map model with synthetic network
+generators, GPS-trace containers and noise models, a mobility simulator,
+map matching, the family of update protocols (non-dead-reckoning baselines,
+linear prediction, the map-based protocol and its variants), a location
+server, the simulation engine and the experiment harness that regenerates
+the paper's tables and figures.
+
+Quick start::
+
+    from repro.mobility import freeway_scenario
+    from repro.protocols import LinearPredictionProtocol, MapBasedProtocol
+    from repro.sim import run_simulation
+
+    scenario = freeway_scenario(scale=0.1)
+    linear = LinearPredictionProtocol(accuracy=100.0,
+                                      sensor_uncertainty=scenario.sensor_sigma,
+                                      estimation_window=scenario.estimation_window)
+    print(run_simulation(linear, scenario.sensor_trace, scenario.true_trace).updates_per_hour)
+"""
+
+from repro import geo
+from repro import spatial
+from repro import roadmap
+from repro import traces
+from repro import mobility
+from repro import mapmatching
+from repro import protocols
+from repro import service
+from repro import sim
+from repro import experiments
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "geo",
+    "spatial",
+    "roadmap",
+    "traces",
+    "mobility",
+    "mapmatching",
+    "protocols",
+    "service",
+    "sim",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,265 @@
+"""Command-line interface.
+
+``repro`` exposes the experiment harness and the data generators without
+writing any Python::
+
+    repro table1 --scale 0.25
+    repro figure 7 --scale 0.25
+    repro headline --scale 0.25
+    repro simulate --scenario city --protocol map --accuracy 100 --scale 0.2
+    repro generate-map city --out city.json
+    repro generate-trace --scenario walking --out walk.csv --noisy
+    repro visualize --scenario freeway --accuracy 200 --scale 0.1
+
+Every command prints plain-text tables (or JSON with ``--json``) so the
+output can be diffed against the paper's numbers or piped into other tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import ablations
+from repro.experiments.figures import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    headline_reductions,
+    route_update_counts,
+)
+from repro.experiments.report import format_series_chart, format_table, to_json
+from repro.experiments.scenarios import get_scenario
+from repro.experiments.tables import table1
+from repro.experiments.visualize import render_route_updates, render_update_summary
+from repro.mobility.scenarios import ScenarioName
+from repro.roadmap import io as roadmap_io
+from repro.roadmap.generators import (
+    city_grid_map,
+    freeway_map,
+    interurban_map,
+    pedestrian_map,
+)
+from repro.sim.config import PROTOCOL_IDS, SimulationConfig
+from repro.sim.engine import ProtocolSimulation
+from repro.traces import io as trace_io
+
+_FIGURES = {"7": figure7, "8": figure8, "9": figure9, "10": figure10}
+_MAP_GENERATORS = {
+    "freeway": freeway_map,
+    "interurban": interurban_map,
+    "city": city_grid_map,
+    "pedestrian": pedestrian_map,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Map-based dead-reckoning reproduction: experiments and data generators.",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of ASCII tables"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--scale", type=float, default=1.0,
+            help="fraction of the paper's trace length to simulate (default 1.0)",
+        )
+
+    p_table = subparsers.add_parser("table1", help="reproduce Table 1")
+    add_scale(p_table)
+
+    p_figure = subparsers.add_parser("figure", help="reproduce Figure 7, 8, 9 or 10")
+    p_figure.add_argument("number", choices=sorted(_FIGURES), help="figure number")
+    add_scale(p_figure)
+
+    p_headline = subparsers.add_parser(
+        "headline", help="maximum update-rate reductions (abstract / Sec. 4)"
+    )
+    add_scale(p_headline)
+
+    p_ablation = subparsers.add_parser("ablation", help="run one of the ablation studies")
+    p_ablation.add_argument(
+        "study", choices=["um", "window", "turnpolicy", "adaptive", "speedlimit"]
+    )
+    p_ablation.add_argument(
+        "--scenario", choices=[s.value for s in ScenarioName], default="freeway"
+    )
+    add_scale(p_ablation)
+
+    p_sim = subparsers.add_parser("simulate", help="run one protocol over one scenario")
+    p_sim.add_argument("--scenario", choices=[s.value for s in ScenarioName], required=True)
+    p_sim.add_argument("--protocol", choices=list(PROTOCOL_IDS), required=True)
+    p_sim.add_argument("--accuracy", type=float, required=True, help="requested accuracy us [m]")
+    add_scale(p_sim)
+
+    p_map = subparsers.add_parser("generate-map", help="generate a synthetic road map (JSON)")
+    p_map.add_argument("kind", choices=sorted(_MAP_GENERATORS))
+    p_map.add_argument("--out", required=True, help="output JSON path")
+    p_map.add_argument("--seed", type=int, default=0)
+
+    p_trace = subparsers.add_parser(
+        "generate-trace", help="generate a movement trace for a scenario (CSV)"
+    )
+    p_trace.add_argument("--scenario", choices=[s.value for s in ScenarioName], required=True)
+    p_trace.add_argument("--out", required=True, help="output CSV path")
+    p_trace.add_argument(
+        "--noisy", action="store_true", help="write the noisy sensor trace instead of the truth"
+    )
+    add_scale(p_trace)
+
+    p_vis = subparsers.add_parser(
+        "visualize", help="ASCII rendering of a route and its update positions (cf. Fig. 3/6)"
+    )
+    p_vis.add_argument("--scenario", choices=[s.value for s in ScenarioName], default="freeway")
+    p_vis.add_argument("--protocol", choices=list(PROTOCOL_IDS), default="map")
+    p_vis.add_argument("--accuracy", type=float, default=200.0)
+    p_vis.add_argument("--width", type=int, default=100)
+    p_vis.add_argument("--height", type=int, default=30)
+    add_scale(p_vis)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# command implementations
+# --------------------------------------------------------------------------- #
+def _emit(args, rows, title: str) -> None:
+    if args.json:
+        print(to_json(rows))
+    else:
+        print(format_table(rows, title=title))
+
+
+def _cmd_table1(args) -> int:
+    rows = [row.as_dict() for row in table1(scale=args.scale)]
+    _emit(args, rows, "Table 1 (measured vs paper)")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    figure = _FIGURES[args.number](scale=args.scale)
+    if args.json:
+        print(to_json(figure.as_rows()))
+        return 0
+    print(format_table(figure.as_rows(), title=f"Figure {args.number} — {figure.description}"))
+    print()
+    print(
+        format_series_chart(
+            figure.baseline.accuracies,
+            {s.label: s.updates_per_hour for s in figure.series.values()},
+            y_label="updates/h",
+        )
+    )
+    return 0
+
+
+def _cmd_headline(args) -> int:
+    reductions = headline_reductions(scale=args.scale)
+    rows = [{"scenario": name, **values} for name, values in reductions.items()]
+    _emit(args, rows, "Maximum update-rate reductions [%]")
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    scenario = ScenarioName(args.scenario)
+    if args.study == "um":
+        rows = ablations.matching_tolerance_ablation(scenario, scale=args.scale)
+    elif args.study == "window":
+        rows = ablations.estimation_window_ablation(scenario, scale=args.scale)
+    elif args.study == "turnpolicy":
+        rows = ablations.turn_policy_ablation(scenario, scale=args.scale)
+    elif args.study == "adaptive":
+        rows = ablations.adaptive_strategy_comparison(scenario, scale=args.scale)
+    else:
+        rows = ablations.speed_limit_prediction_ablation(scenario, scale=args.scale)
+    _emit(args, rows, f"Ablation {args.study} ({args.scenario})")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    scenario = get_scenario(args.scenario, scale=args.scale)
+    protocol = SimulationConfig(
+        protocol_id=args.protocol, accuracy=args.accuracy
+    ).build_protocol(scenario)
+    result = ProtocolSimulation(
+        protocol=protocol,
+        sensor_trace=scenario.sensor_trace,
+        truth_trace=scenario.true_trace,
+    ).run()
+    _emit(args, [result.as_dict()], f"{args.protocol} on {args.scenario} (us={args.accuracy:g} m)")
+    return 0
+
+
+def _cmd_generate_map(args) -> int:
+    roadmap = _MAP_GENERATORS[args.kind](seed=args.seed)
+    roadmap_io.save_roadmap(roadmap, args.out)
+    stats = roadmap.statistics()
+    print(
+        f"wrote {args.out}: {stats['intersections']} intersections, "
+        f"{stats['links']} links, {stats['total_length_km']:.1f} km"
+    )
+    return 0
+
+
+def _cmd_generate_trace(args) -> int:
+    scenario = get_scenario(args.scenario, scale=args.scale)
+    trace = scenario.sensor_trace if args.noisy else scenario.true_trace
+    trace_io.save_trace_csv(trace, args.out)
+    print(
+        f"wrote {args.out}: {len(trace)} samples, {trace.path_length() / 1000.0:.1f} km, "
+        f"{trace.duration / 3600.0:.2f} h"
+    )
+    return 0
+
+
+def _cmd_visualize(args) -> int:
+    scenario = get_scenario(args.scenario, scale=args.scale)
+    protocol = SimulationConfig(
+        protocol_id=args.protocol, accuracy=args.accuracy
+    ).build_protocol(scenario)
+    updates = []
+    for sample in scenario.sensor_trace:
+        message = protocol.observe(sample.time, sample.position)
+        if message is not None:
+            updates.append(message.state.position)
+    print(render_update_summary(scenario.true_trace, updates, protocol.name))
+    print(
+        render_route_updates(
+            scenario.roadmap,
+            scenario.true_trace,
+            updates,
+            width=args.width,
+            height=args.height,
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "figure": _cmd_figure,
+    "headline": _cmd_headline,
+    "ablation": _cmd_ablation,
+    "simulate": _cmd_simulate,
+    "generate-map": _cmd_generate_map,
+    "generate-trace": _cmd_generate_trace,
+    "visualize": _cmd_visualize,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through the console script
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Experiment harness: regenerating the paper's tables and figures.
+
+Every table and figure of the paper's evaluation (Sec. 4) has a runner here:
+
+* Table 1 — :func:`repro.experiments.tables.table1`
+* Fig. 3 / Fig. 6 — :func:`repro.experiments.figures.route_update_counts`
+* Fig. 7 (freeway) — :func:`repro.experiments.figures.figure7`
+* Fig. 8 (inter-urban) — :func:`repro.experiments.figures.figure8`
+* Fig. 9 (city) — :func:`repro.experiments.figures.figure9`
+* Fig. 10 (walking) — :func:`repro.experiments.figures.figure10`
+* headline reductions quoted in the abstract — :func:`repro.experiments.figures.headline_reductions`
+
+plus the ablations described in DESIGN.md (:mod:`repro.experiments.ablations`).
+"""
+
+from repro.experiments.scenarios import get_scenario, clear_scenario_cache
+from repro.experiments.tables import table1
+from repro.experiments.figures import (
+    FigureSeries,
+    FigureResult,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure_for_scenario,
+    route_update_counts,
+    headline_reductions,
+)
+from repro.experiments import ablations
+from repro.experiments import report
+from repro.experiments import visualize
+
+__all__ = [
+    "get_scenario",
+    "clear_scenario_cache",
+    "table1",
+    "FigureSeries",
+    "FigureResult",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure_for_scenario",
+    "route_update_counts",
+    "headline_reductions",
+    "ablations",
+    "report",
+    "visualize",
+]

@@ -1,0 +1,108 @@
+"""Plain-text rendering of experiment results.
+
+The original simulator visualised maps and updates graphically (Figures 3
+and 6); in a headless reproduction the equivalents are ASCII tables and
+simple ASCII line charts that can be printed from the benchmarks and the
+examples, plus JSON export for further processing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Render a list of dictionaries as a fixed-width ASCII table.
+
+    All rows are expected to share the same keys; the key order of the first
+    row defines the column order.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(_fmt(row.get(col))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_series_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "us [m]",
+    y_label: str = "updates/h",
+) -> str:
+    """Render several y(x) series as a crude ASCII chart.
+
+    Each series gets its own marker character; the legend maps markers to
+    series names.  Intended for terminal output of the figure benchmarks,
+    mirroring the plots of Figures 7-10.
+    """
+    if not x_values or not series:
+        return "(no data)"
+    markers = "*o+x#@%&"
+    all_y = [y for ys in series.values() for y in ys]
+    y_max = max(all_y) if all_y else 1.0
+    y_max = y_max if y_max > 0 else 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    legend = []
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(x_values, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((1.0 - min(y, y_max) / y_max) * (height - 1)))
+            grid[row][col] = marker
+
+    lines = [f"{y_label} (max {y_max:.1f})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def to_json(data: object, indent: int = 2) -> str:
+    """Serialise experiment output (tables, figures) to JSON text."""
+    return json.dumps(data, indent=indent, default=_json_default)
+
+
+def _json_default(value):
+    try:
+        import numpy as np
+
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, (np.floating, np.integer)):
+            return value.item()
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    if hasattr(value, "as_dict"):
+        return value.as_dict()
+    raise TypeError(f"cannot serialise {type(value)!r}")

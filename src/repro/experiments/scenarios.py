@@ -1,0 +1,40 @@
+"""Scenario construction with caching.
+
+Building a scenario (generating the map, planning the route, simulating the
+journey) is by far the most expensive part of an experiment, and every
+figure reuses the same scenario for all of its protocol curves.  The cache
+here guarantees that repeated calls with identical parameters return the
+same object, which also keeps the experiments deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.mobility.scenarios import Scenario, ScenarioName, build_scenario
+
+_CACHE: Dict[Tuple[str, float, int], Scenario] = {}
+
+
+def get_scenario(name: ScenarioName | str, scale: float = 1.0, seed: int | None = None) -> Scenario:
+    """Return the (cached) scenario *name* at the given *scale*.
+
+    Parameters
+    ----------
+    name:
+        One of ``freeway``, ``interurban``, ``city``, ``walking``.
+    scale:
+        Route-length scale factor in ``(0, 1]``; 1.0 matches the paper's
+        trace lengths.
+    seed:
+        Scenario seed; ``None`` uses each scenario's default seed.
+    """
+    key = (ScenarioName(name).value, float(scale), -1 if seed is None else int(seed))
+    if key not in _CACHE:
+        _CACHE[key] = build_scenario(name, seed=seed, scale=scale)
+    return _CACHE[key]
+
+
+def clear_scenario_cache() -> None:
+    """Drop all cached scenarios (used by tests that need fresh randomness)."""
+    _CACHE.clear()

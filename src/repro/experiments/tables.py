@@ -1,0 +1,88 @@
+"""Table 1: characteristics of the traces used for the simulation.
+
+The paper's Table 1 lists length, duration, average speed and maximum speed
+of the four recorded GPS traces.  :func:`table1` produces the same table for
+the synthetic scenarios, together with the paper's reference values so the
+report can show the reproduction side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.scenarios import get_scenario
+from repro.mobility.scenarios import ScenarioName
+from repro.traces.stats import TraceStatistics, compute_statistics
+
+#: The values printed in the paper's Table 1, for comparison in reports.
+PAPER_TABLE1: Dict[str, Dict[str, float]] = {
+    ScenarioName.FREEWAY.value: {
+        "length_km": 163.0,
+        "duration_h": 1.583,
+        "average_speed_kmh": 103.0,
+        "max_speed_kmh": 155.0,
+    },
+    ScenarioName.INTERURBAN.value: {
+        "length_km": 99.0,
+        "duration_h": 1.65,
+        "average_speed_kmh": 60.0,
+        "max_speed_kmh": 116.0,
+    },
+    ScenarioName.CITY.value: {
+        "length_km": 89.0,
+        "duration_h": 2.417,
+        "average_speed_kmh": 34.0,
+        "max_speed_kmh": 65.0,
+    },
+    ScenarioName.WALKING.value: {
+        "length_km": 10.0,
+        "duration_h": 2.133,
+        "average_speed_kmh": 4.6,
+        "max_speed_kmh": 7.2,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the reproduced Table 1, with the paper's values attached."""
+
+    scenario: str
+    measured: TraceStatistics
+    paper: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for the report renderer."""
+        return {
+            "trace": self.scenario,
+            "length [km]": round(self.measured.length_km, 1),
+            "paper length [km]": self.paper["length_km"],
+            "duration [h]": round(self.measured.duration_h, 2),
+            "paper duration [h]": round(self.paper["duration_h"], 2),
+            "avg speed [km/h]": round(self.measured.average_speed_kmh, 1),
+            "paper avg speed [km/h]": self.paper["average_speed_kmh"],
+            "max speed [km/h]": round(self.measured.smoothed_max_speed_kmh, 1),
+            "paper max speed [km/h]": self.paper["max_speed_kmh"],
+        }
+
+
+def table1(scale: float = 1.0) -> List[Table1Row]:
+    """Reproduce Table 1 for the four scenarios at the given route scale.
+
+    Note that length and duration scale with *scale* (they are extensive),
+    while the speeds are intensive and should match the paper regardless of
+    scale.
+    """
+    rows: List[Table1Row] = []
+    for name in ScenarioName:
+        scenario = get_scenario(name, scale=scale)
+        stats = compute_statistics(scenario.true_trace)
+        rows.append(
+            Table1Row(
+                scenario=scenario.description,
+                measured=stats,
+                paper=PAPER_TABLE1[name.value],
+            )
+        )
+    return rows

@@ -1,0 +1,137 @@
+"""ASCII visualisation of routes, traces and update positions.
+
+The paper's Figures 3 and 6 are screenshots of its simulator showing the
+road, the driven route and the points at which the protocol transmitted an
+update (9 updates for linear prediction, 3 for map-based DR on the same
+stretch).  This module renders the same information as character graphics so
+the benchmarks and examples can show it in a terminal: the route as dots,
+the road network in the background, the start/end of the trip and the update
+positions as numbered markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.vec import Vec2, as_vec
+from repro.roadmap.graph import RoadMap
+from repro.traces.trace import Trace
+
+
+@dataclass
+class AsciiCanvas:
+    """A fixed-size character grid with world-coordinate plotting."""
+
+    bounds: BoundingBox
+    width: int = 100
+    height: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.height < 2:
+            raise ValueError("canvas must be at least 2x2 characters")
+        if self.bounds.width <= 0 or self.bounds.height <= 0:
+            # Degenerate extents (e.g. a perfectly horizontal trace) still
+            # need a non-zero scale to be drawable.
+            self.bounds = self.bounds.expanded(max(1.0, self.bounds.width, self.bounds.height))
+        self._grid: List[List[str]] = [
+            [" " for _ in range(self.width)] for _ in range(self.height)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # plotting primitives
+    # ------------------------------------------------------------------ #
+    def _to_cell(self, point: Vec2) -> Optional[tuple[int, int]]:
+        p = as_vec(point)
+        fx = (p[0] - self.bounds.min_x) / self.bounds.width
+        fy = (p[1] - self.bounds.min_y) / self.bounds.height
+        if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
+            return None
+        col = min(self.width - 1, int(fx * (self.width - 1)))
+        row = min(self.height - 1, int((1.0 - fy) * (self.height - 1)))
+        return row, col
+
+    def plot_point(self, point: Vec2, marker: str, overwrite: bool = True) -> None:
+        """Plot a single character at a world coordinate (ignored if off-canvas)."""
+        cell = self._to_cell(point)
+        if cell is None:
+            return
+        row, col = cell
+        if overwrite or self._grid[row][col] == " ":
+            self._grid[row][col] = marker[0]
+
+    def plot_polyline(self, points: Sequence[Vec2], marker: str, spacing: float = 0.0) -> None:
+        """Plot a sequence of points, densified so lines appear connected."""
+        pts = [as_vec(p) for p in points]
+        if not pts:
+            return
+        step = spacing if spacing > 0 else max(self.bounds.width, self.bounds.height) / max(
+            self.width, self.height
+        )
+        for a, b in zip(pts, pts[1:]):
+            length = float(np.hypot(*(b - a)))
+            n = max(1, int(length / step))
+            for i in range(n + 1):
+                self.plot_point(a + (b - a) * (i / n), marker, overwrite=False)
+
+    def render(self) -> str:
+        """The canvas as a newline-joined string with a simple frame."""
+        top = "+" + "-" * self.width + "+"
+        body = ["|" + "".join(row) + "|" for row in self._grid]
+        return "\n".join([top, *body, top])
+
+
+def render_route_updates(
+    roadmap: Optional[RoadMap],
+    trace: Trace,
+    update_positions: Iterable[Vec2],
+    width: int = 100,
+    height: int = 32,
+    margin: float = 100.0,
+) -> str:
+    """Render a trip and its update positions (the Fig. 3 / Fig. 6 view).
+
+    Parameters
+    ----------
+    roadmap:
+        Optional road network drawn in the background (links as ``-`` dots).
+    trace:
+        The driven trace, drawn as ``.`` with ``S``/``E`` marking start/end.
+    update_positions:
+        Positions at which the protocol transmitted an update; drawn as
+        ``1``–``9`` then ``*`` so the count is readable straight off the art.
+    width, height:
+        Canvas size in characters.
+    margin:
+        Extra metres of world space drawn around the trace bounds.
+    """
+    bounds = BoundingBox(*trace.bounds()).expanded(margin)
+    canvas = AsciiCanvas(bounds=bounds, width=width, height=height)
+
+    if roadmap is not None:
+        for link in roadmap.links_in_box(bounds):
+            canvas.plot_polyline(list(link.geometry.points), "-")
+
+    canvas.plot_polyline(list(trace.positions[:: max(1, len(trace) // 2000)]), ".")
+
+    for index, position in enumerate(update_positions):
+        marker = str(index + 1) if index < 9 else "*"
+        canvas.plot_point(position, marker)
+
+    canvas.plot_point(trace.positions[0], "S")
+    canvas.plot_point(trace.positions[-1], "E")
+    return canvas.render()
+
+
+def render_update_summary(
+    trace: Trace, update_positions: Sequence[Vec2], label: str
+) -> str:
+    """One-line textual summary to accompany :func:`render_route_updates`."""
+    return (
+        f"{label}: {len(update_positions)} updates over "
+        f"{trace.path_length() / 1000.0:.1f} km "
+        f"({trace.duration / 60.0:.0f} min)"
+    )

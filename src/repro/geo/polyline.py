@@ -1,0 +1,219 @@
+"""Polyline with arc-length parameterisation.
+
+A road link in the paper's map model is an intersection-to-intersection
+connection whose exact geometry is refined by *shape points* (Fig. 4).  The
+natural representation is a polyline; the map-based prediction function then
+simply advances an arc-length offset along the polyline at the reported
+speed, and the map matcher projects sensed positions onto it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.segment import Segment
+from repro.geo.vec import Vec2, as_vec, distance
+from repro.geo.angles import bearing
+
+
+class Polyline:
+    """An ordered sequence of planar points interpreted as a connected path.
+
+    The class pre-computes cumulative arc lengths so that the frequently used
+    operations (``point_at``, ``project``) run in O(number of vertices) with
+    small constants, which keeps the 1 Hz simulation loops cheap even for
+    long traces.
+    """
+
+    __slots__ = ("_points", "_cumulative", "_length")
+
+    def __init__(self, points: Iterable[Vec2]):
+        pts = [as_vec(p) for p in points]
+        if len(pts) < 2:
+            raise ValueError("a polyline needs at least two points")
+        self._points = np.array(pts, dtype=float)
+        deltas = np.diff(self._points, axis=0)
+        seg_lengths = np.hypot(deltas[:, 0], deltas[:, 1])
+        self._cumulative = np.concatenate(([0.0], np.cumsum(seg_lengths)))
+        self._length = float(self._cumulative[-1])
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_segments(cls, segments: Sequence[Segment]) -> "Polyline":
+        """Build a polyline from consecutive segments (must share endpoints)."""
+        if not segments:
+            raise ValueError("need at least one segment")
+        points = [segments[0].start]
+        for seg in segments:
+            points.append(seg.end)
+        return cls(points)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def points(self) -> np.ndarray:
+        """The vertices as an ``(n, 2)`` array (read-only view)."""
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def length(self) -> float:
+        """Total arc length in metres."""
+        return self._length
+
+    @property
+    def start(self) -> np.ndarray:
+        """First vertex."""
+        return self._points[0].copy()
+
+    @property
+    def end(self) -> np.ndarray:
+        """Last vertex."""
+        return self._points[-1].copy()
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def segments(self) -> list[Segment]:
+        """The polyline decomposed into its directed segments."""
+        return [
+            Segment(self._points[i], self._points[i + 1])
+            for i in range(len(self._points) - 1)
+        ]
+
+    def reversed(self) -> "Polyline":
+        """The same geometry traversed in the opposite direction."""
+        return Polyline(self._points[::-1].copy())
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """Axis-aligned bounds ``(min_x, min_y, max_x, max_y)``."""
+        mins = self._points.min(axis=0)
+        maxs = self._points.max(axis=0)
+        return (float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
+
+    # ------------------------------------------------------------------ #
+    # arc-length parameterisation
+    # ------------------------------------------------------------------ #
+    def _locate(self, offset: float) -> tuple[int, float]:
+        """Return ``(segment_index, local_offset)`` for an arc-length offset."""
+        if offset <= 0.0:
+            return 0, 0.0
+        if offset >= self._length:
+            last = len(self._points) - 2
+            return last, self._cumulative[last + 1] - self._cumulative[last]
+        idx = int(np.searchsorted(self._cumulative, offset, side="right") - 1)
+        idx = min(idx, len(self._points) - 2)
+        return idx, offset - float(self._cumulative[idx])
+
+    def point_at(self, offset: float) -> np.ndarray:
+        """Point at arc-length *offset* metres from the start (clamped)."""
+        idx, local = self._locate(offset)
+        a = self._points[idx]
+        b = self._points[idx + 1]
+        seg_len = float(self._cumulative[idx + 1] - self._cumulative[idx])
+        if seg_len == 0.0:
+            return a.copy()
+        t = local / seg_len
+        return a + (b - a) * t
+
+    def direction_at(self, offset: float) -> np.ndarray:
+        """Unit tangent direction at arc-length *offset* (direction of travel)."""
+        idx, _ = self._locate(offset)
+        a = self._points[idx]
+        b = self._points[idx + 1]
+        d = b - a
+        n = math.hypot(d[0], d[1])
+        if n == 0.0:
+            return np.zeros(2)
+        return d / n
+
+    def bearing_at(self, offset: float) -> float:
+        """Compass bearing of travel at arc-length *offset*."""
+        idx, _ = self._locate(offset)
+        return bearing(self._points[idx], self._points[idx + 1])
+
+    # ------------------------------------------------------------------ #
+    # projection
+    # ------------------------------------------------------------------ #
+    def project(self, point: Vec2) -> tuple[np.ndarray, float, float]:
+        """Project *point* onto the polyline.
+
+        Returns
+        -------
+        (projected_point, offset, dist):
+            The closest point on the polyline, its arc-length offset from the
+            start and the distance from *point* to that closest point.
+        """
+        p = as_vec(point)
+        a = self._points[:-1]
+        b = self._points[1:]
+        d = b - a
+        denom = (d * d).sum(axis=1)
+        denom_safe = np.where(denom == 0.0, 1.0, denom)
+        t = ((p - a) * d).sum(axis=1) / denom_safe
+        t = np.clip(np.where(denom == 0.0, 0.0, t), 0.0, 1.0)
+        proj = a + d * t[:, None]
+        delta = proj - p
+        dist = np.hypot(delta[:, 0], delta[:, 1])
+        i = int(np.argmin(dist))
+        offset = float(self._cumulative[i]) + float(t[i]) * math.sqrt(float(denom[i]))
+        return proj[i].copy(), offset, float(dist[i])
+
+    def distance_to(self, point: Vec2) -> float:
+        """Shortest distance from *point* to the polyline."""
+        return self.project(point)[2]
+
+    # ------------------------------------------------------------------ #
+    # geometry editing helpers
+    # ------------------------------------------------------------------ #
+    def resample(self, spacing: float) -> "Polyline":
+        """Return a polyline with vertices spaced roughly *spacing* metres apart.
+
+        The first and last vertices are always preserved.  Useful for turning
+        coarse link geometry into a denser set of shape points and for
+        history-based map learning.
+        """
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        n = max(2, int(math.ceil(self._length / spacing)) + 1)
+        offsets = np.linspace(0.0, self._length, n)
+        return Polyline([self.point_at(o) for o in offsets])
+
+    def subpolyline(self, start_offset: float, end_offset: float) -> "Polyline":
+        """Extract the portion between two arc-length offsets (start < end)."""
+        if end_offset <= start_offset:
+            raise ValueError("end_offset must be greater than start_offset")
+        start_offset = max(0.0, start_offset)
+        end_offset = min(self._length, end_offset)
+        points = [self.point_at(start_offset)]
+        mask = (self._cumulative > start_offset) & (self._cumulative < end_offset)
+        for idx in np.nonzero(mask)[0]:
+            points.append(self._points[idx])
+        points.append(self.point_at(end_offset))
+        # Remove consecutive duplicates that can appear when offsets coincide
+        # with existing vertices.
+        unique = [points[0]]
+        for pt in points[1:]:
+            if distance(pt, unique[-1]) > 1e-9:
+                unique.append(pt)
+        if len(unique) < 2:
+            unique.append(points[-1] + np.array([1e-9, 0.0]))
+        return Polyline(unique)
+
+    def concat(self, other: "Polyline") -> "Polyline":
+        """Concatenate two polylines (the junction point is de-duplicated)."""
+        pts = list(self._points)
+        other_pts = list(other._points)
+        if distance(pts[-1], other_pts[0]) < 1e-9:
+            other_pts = other_pts[1:]
+        return Polyline(pts + other_pts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Polyline({len(self._points)} points, length={self._length:.1f} m)"

@@ -1,0 +1,139 @@
+"""Line-segment primitive.
+
+The map-matching algorithm of the paper places the sensed position
+perpendicularly onto a link of the road map (Fig. 5).  Links are polylines,
+and polylines are sequences of :class:`Segment` objects, so the projection
+machinery lives here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.vec import Vec2, as_vec, distance
+from repro.geo.angles import bearing
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed straight segment between two planar points.
+
+    Parameters
+    ----------
+    start, end:
+        End points in metres.  The segment is directed: several algorithms
+        (e.g. forward-tracking past the end of a link) rely on knowing which
+        end is "ahead".
+    """
+
+    start: np.ndarray
+    end: np.ndarray
+    _length: float = field(init=False, repr=False, compare=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", as_vec(self.start))
+        object.__setattr__(self, "end", as_vec(self.end))
+        object.__setattr__(self, "_length", distance(self.start, self.end))
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> float:
+        """Length of the segment in metres."""
+        return self._length
+
+    @property
+    def direction(self) -> np.ndarray:
+        """Unit vector from start to end (zero vector for degenerate segments)."""
+        if self._length == 0.0:
+            return np.zeros(2)
+        return (self.end - self.start) / self._length
+
+    @property
+    def bearing(self) -> float:
+        """Compass bearing from start to end in radians."""
+        return bearing(self.start, self.end)
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        """Middle point of the segment."""
+        return (self.start + self.end) * 0.5
+
+    def reversed(self) -> "Segment":
+        """The same segment traversed in the opposite direction."""
+        return Segment(self.end.copy(), self.start.copy())
+
+    # ------------------------------------------------------------------ #
+    # interpolation and projection
+    # ------------------------------------------------------------------ #
+    def point_at(self, offset: float) -> np.ndarray:
+        """Point at arc-length *offset* metres from the start.
+
+        Offsets are clamped to ``[0, length]`` so callers do not need to
+        special-case rounding errors when walking along a polyline.
+        """
+        if self._length == 0.0:
+            return self.start.copy()
+        t = min(max(offset / self._length, 0.0), 1.0)
+        return self.start + (self.end - self.start) * t
+
+    def project_parameter(self, point: Vec2) -> float:
+        """Parameter ``t`` in ``[0, 1]`` of the closest point to *point*."""
+        p = as_vec(point)
+        d = self.end - self.start
+        denom = float(d[0] * d[0] + d[1] * d[1])
+        if denom == 0.0:
+            return 0.0
+        t = float(np.dot(p - self.start, d)) / denom
+        return min(1.0, max(0.0, t))
+
+    def project(self, point: Vec2) -> np.ndarray:
+        """Closest point on the segment to *point* (the paper's ``pc``)."""
+        t = self.project_parameter(point)
+        return self.start + (self.end - self.start) * t
+
+    def project_offset(self, point: Vec2) -> float:
+        """Arc-length offset (metres from start) of the projection of *point*."""
+        return self.project_parameter(point) * self._length
+
+    def distance_to(self, point: Vec2) -> float:
+        """Shortest distance from *point* to the segment in metres."""
+        return distance(self.project(point), point)
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def bounds(self) -> tuple[float, float, float, float]:
+        """Axis-aligned bounds ``(min_x, min_y, max_x, max_y)``."""
+        return (
+            float(min(self.start[0], self.end[0])),
+            float(min(self.start[1], self.end[1])),
+            float(max(self.start[0], self.end[0])),
+            float(max(self.start[1], self.end[1])),
+        )
+
+    def side_of(self, point: Vec2) -> int:
+        """Which side of the directed segment *point* lies on.
+
+        Returns ``+1`` for the left side, ``-1`` for the right side and ``0``
+        for collinear points.
+        """
+        p = as_vec(point)
+        d = self.end - self.start
+        v = p - self.start
+        c = float(d[0] * v[1] - d[1] * v[0])
+        if c > 0:
+            return 1
+        if c < 0:
+            return -1
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Segment(({self.start[0]:.1f}, {self.start[1]:.1f}) -> "
+            f"({self.end[0]:.1f}, {self.end[1]:.1f}), length={self._length:.1f} m)"
+        )

@@ -1,0 +1,103 @@
+"""Small 2-D vector helpers.
+
+Positions are represented throughout the library as NumPy arrays of shape
+``(2,)`` holding ``float64`` metres.  The helpers below are thin, allocation
+conscious wrappers around NumPy operations; they accept anything array-like
+(tuples, lists, arrays) and always return plain ``numpy`` objects so that the
+rest of the code can freely mix literals and computed values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+#: Type alias accepted by every function that expects a 2-D point or vector.
+Vec2 = Union[np.ndarray, Sequence[float], Iterable[float]]
+
+
+def as_vec(value: Vec2) -> np.ndarray:
+    """Coerce *value* into a ``float64`` NumPy array of shape ``(2,)``.
+
+    The function is the single normalisation point for user supplied
+    coordinates; every public API that accepts positions funnels its input
+    through it.
+
+    Raises
+    ------
+    ValueError
+        If *value* does not describe exactly two finite coordinates.
+    """
+    arr = np.asarray(value, dtype=float)
+    if arr.shape != (2,):
+        raise ValueError(f"expected a 2-D point, got shape {arr.shape!r}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"coordinates must be finite, got {arr!r}")
+    return arr
+
+
+def distance_sq(a: Vec2, b: Vec2) -> float:
+    """Squared Euclidean distance between two points (avoids the sqrt)."""
+    ax, ay = float(a[0]), float(a[1])
+    bx, by = float(b[0]), float(b[1])
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def distance(a: Vec2, b: Vec2) -> float:
+    """Euclidean distance between two points in metres."""
+    return math.sqrt(distance_sq(a, b))
+
+
+def norm(v: Vec2) -> float:
+    """Euclidean length of a vector."""
+    x, y = float(v[0]), float(v[1])
+    return math.hypot(x, y)
+
+
+def normalize(v: Vec2) -> np.ndarray:
+    """Return the unit vector pointing in the direction of *v*.
+
+    A zero vector is returned unchanged (rather than raising) because the
+    protocols frequently deal with stationary objects whose velocity vector
+    is exactly zero.
+    """
+    arr = as_vec(v)
+    length = math.hypot(arr[0], arr[1])
+    if length == 0.0:
+        return arr.copy()
+    return arr / length
+
+
+def dot(a: Vec2, b: Vec2) -> float:
+    """Dot product of two 2-D vectors."""
+    return float(a[0]) * float(b[0]) + float(a[1]) * float(b[1])
+
+
+def cross(a: Vec2, b: Vec2) -> float:
+    """Z component of the 3-D cross product (signed parallelogram area)."""
+    return float(a[0]) * float(b[1]) - float(a[1]) * float(b[0])
+
+
+def lerp(a: Vec2, b: Vec2, t: float) -> np.ndarray:
+    """Linear interpolation between *a* (``t == 0``) and *b* (``t == 1``)."""
+    av = as_vec(a)
+    bv = as_vec(b)
+    return av + (bv - av) * float(t)
+
+
+def rotate(v: Vec2, angle: float) -> np.ndarray:
+    """Rotate vector *v* counter-clockwise by *angle* radians."""
+    arr = as_vec(v)
+    c = math.cos(angle)
+    s = math.sin(angle)
+    return np.array([c * arr[0] - s * arr[1], s * arr[0] + c * arr[1]])
+
+
+def perpendicular(v: Vec2) -> np.ndarray:
+    """Return *v* rotated by +90 degrees (counter-clockwise)."""
+    arr = as_vec(v)
+    return np.array([-arr[1], arr[0]])

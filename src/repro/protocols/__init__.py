@@ -1,0 +1,86 @@
+"""Location-update protocols.
+
+This package contains every protocol variant discussed in the paper
+(Sec. 2, Fig. 2) plus the non-dead-reckoning baselines it compares against:
+
+========================  ====================================================
+Protocol                  Module / class
+========================  ====================================================
+distance-based reporting  :class:`repro.protocols.reporting.DistanceBasedReporting`
+time-based reporting      :class:`repro.protocols.reporting.TimeBasedReporting`
+movement-based reporting  :class:`repro.protocols.reporting.MovementBasedReporting`
+linear prediction DR      :class:`repro.protocols.linear.LinearPredictionProtocol`
+higher-order prediction   :class:`repro.protocols.higher_order.HigherOrderPredictionProtocol`
+map-based DR              :class:`repro.protocols.mapbased.MapBasedProtocol`
+map-based + probabilities :class:`repro.protocols.probabilistic.ProbabilisticMapBasedProtocol`
+known-route DR            :class:`repro.protocols.known_route.KnownRouteProtocol`
+Wolfson sdr / adr / dtdr  :class:`repro.protocols.adaptive`
+========================  ====================================================
+
+All protocols share the same source/server split: the *source* consumes
+sensor sightings and decides when to transmit an
+:class:`~repro.protocols.base.UpdateMessage`; the *server* reconstructs the
+object position at any time by applying the protocol's
+:class:`~repro.protocols.prediction.PredictionFunction` to the last received
+update.  Source and server always use the same prediction function and
+parameters — the property that lets the protocol guarantee a maximum
+deviation (paper Sec. 2).
+"""
+
+from repro.protocols.base import ObjectState, UpdateMessage, UpdateProtocol, UpdateReason
+from repro.protocols.prediction import (
+    PredictionFunction,
+    StaticPrediction,
+    LinearPrediction,
+    QuadraticPrediction,
+    MapPrediction,
+    RoutePrediction,
+    TurnPolicy,
+    SmallestAngleTurnPolicy,
+    MainRoadTurnPolicy,
+    ProbabilisticTurnPolicy,
+)
+from repro.protocols.reporting import (
+    DistanceBasedReporting,
+    TimeBasedReporting,
+    MovementBasedReporting,
+)
+from repro.protocols.linear import LinearPredictionProtocol
+from repro.protocols.higher_order import HigherOrderPredictionProtocol
+from repro.protocols.mapbased import MapBasedProtocol, MapBasedConfig
+from repro.protocols.probabilistic import ProbabilisticMapBasedProtocol
+from repro.protocols.known_route import KnownRouteProtocol
+from repro.protocols.adaptive import (
+    SpeedDeadReckoning,
+    AdaptiveDeadReckoning,
+    DisconnectionDetectionDeadReckoning,
+)
+
+__all__ = [
+    "ObjectState",
+    "UpdateMessage",
+    "UpdateProtocol",
+    "UpdateReason",
+    "PredictionFunction",
+    "StaticPrediction",
+    "LinearPrediction",
+    "QuadraticPrediction",
+    "MapPrediction",
+    "RoutePrediction",
+    "TurnPolicy",
+    "SmallestAngleTurnPolicy",
+    "MainRoadTurnPolicy",
+    "ProbabilisticTurnPolicy",
+    "DistanceBasedReporting",
+    "TimeBasedReporting",
+    "MovementBasedReporting",
+    "LinearPredictionProtocol",
+    "HigherOrderPredictionProtocol",
+    "MapBasedProtocol",
+    "MapBasedConfig",
+    "ProbabilisticMapBasedProtocol",
+    "KnownRouteProtocol",
+    "SpeedDeadReckoning",
+    "AdaptiveDeadReckoning",
+    "DisconnectionDetectionDeadReckoning",
+]

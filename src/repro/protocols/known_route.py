@@ -1,0 +1,72 @@
+"""Dead reckoning with a pre-known route.
+
+"If the route of the mobile object is known beforehand, the protocol only
+needs to consider the object's speed and not the direction of its movement."
+(paper Sec. 2, following Wolfson et al. [12]).  The paper uses it as the
+upper bound for the map-based protocol: with a known route the prediction is
+equivalent to a map-based prediction that chooses correctly at every
+intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.protocols.base import UpdateProtocol, UpdateReason
+from repro.protocols.prediction import PredictionFunction, RoutePrediction
+from repro.roadmap.routing import Route
+
+
+class KnownRouteProtocol(UpdateProtocol):
+    """Dead reckoning along a route known to both source and server.
+
+    The source tracks its progress (arc-length offset) along the known route
+    monotonically — a fresh global projection every second could jump to a
+    different pass of a self-intersecting route — and transmits that offset
+    in the ``link_offset`` field of the update, which the shared
+    :class:`~repro.protocols.prediction.RoutePrediction` then advances at the
+    reported speed.
+    """
+
+    name = "known-route dead reckoning"
+
+    def __init__(
+        self,
+        accuracy: float,
+        route: Route,
+        sensor_uncertainty: float = 0.0,
+        estimation_window: int = 4,
+    ):
+        super().__init__(accuracy, sensor_uncertainty, estimation_window)
+        self.route = route
+        self._prediction = RoutePrediction(route)
+        self._route_offset: Optional[float] = None
+
+    def prediction_function(self) -> PredictionFunction:
+        return self._prediction
+
+    def _pre_decision_hook(
+        self, time: float, position: np.ndarray, velocity: np.ndarray, speed: float
+    ) -> None:
+        if self._route_offset is None:
+            self._route_offset = self.route.project(position)[1]
+        else:
+            _, offset, _ = self.route.project_near(position, self._route_offset)
+            self._route_offset = offset
+
+    def _build_state(self, time, position, velocity, speed):
+        state = super()._build_state(time, position, velocity, speed)
+        return state.with_link(None, self._route_offset)
+
+    def _should_update(
+        self, time: float, position: np.ndarray, velocity: np.ndarray, speed: float
+    ) -> Optional[UpdateReason]:
+        if self._threshold_exceeded(time, position):
+            return UpdateReason.THRESHOLD
+        return None
+
+    def reset(self) -> None:
+        super().reset()
+        self._route_offset = None

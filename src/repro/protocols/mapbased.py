@@ -1,0 +1,227 @@
+"""The map-based dead-reckoning protocol (the paper's contribution, Sec. 3).
+
+Compared to the basic dead-reckoning mechanism, the map-based protocol
+
+* runs a map-matching algorithm on every sensor sighting at the source
+  (:class:`~repro.mapmatching.IncrementalMapMatcher`),
+* transmits the *corrected* position ``pc``, the current speed and the
+  identifier of the current link in its updates, and
+* uses a prediction function enhanced by map information
+  (:class:`~repro.protocols.prediction.MapPrediction`): the object is
+  assumed to keep following its reported link, and at intersections the turn
+  policy — by default the link with the smallest angle to the previous one —
+  selects the next link.
+
+When the source cannot match the object to any link (forward- and
+backward-tracking both fail), it sends an update with an *empty link* and
+both sides fall back to linear prediction until the object can be matched to
+the map again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.mapmatching.matcher import (
+    IncrementalMapMatcher,
+    MatcherConfig,
+    MatchResult,
+    MatchStatus,
+)
+from repro.protocols.base import ObjectState, UpdateProtocol, UpdateReason
+from repro.protocols.prediction import (
+    MapPrediction,
+    PredictionFunction,
+    SmallestAngleTurnPolicy,
+    TurnPolicy,
+)
+from repro.roadmap.graph import RoadMap
+
+
+@dataclass(frozen=True)
+class MapBasedConfig:
+    """Tuning knobs of the map-based protocol.
+
+    Attributes
+    ----------
+    matching_tolerance:
+        The paper's ``um``: how far (metres) a position may lie from a link
+        and still be matched onto it; should reflect the sensor accuracy.
+    end_proximity:
+        Distance to the link end (metres) below which leaving the link is
+        interpreted as having passed the intersection (forward-tracking).
+    backtrack_depth:
+        Number of intersections examined during backward-tracking.
+    reacquire_interval:
+        When off-map, how often (in sightings) the source re-queries the
+        spatial index to return to the map-based protocol.
+    update_on_off_map:
+        Send an update with an empty link as soon as the object can no
+        longer be matched (paper behaviour).  Disabling this delays the
+        fallback until the next threshold update.
+    update_on_reacquire:
+        Send an update as soon as a link is found again.  The paper does not
+        require this; disabled by default, the link is simply included in
+        the next regular update.
+    use_corrected_position:
+        Transmit the map-matched position ``pc`` (paper behaviour).  When
+        disabled the raw sensor position is transmitted instead; used by the
+        ablation benchmarks.
+    speed_limit_factor:
+        When set, the shared prediction caps the assumed speed on every link
+        at this fraction of the link's speed limit (the paper's future-work
+        extension); ``None`` reproduces the evaluated protocol.
+    """
+
+    matching_tolerance: float = 30.0
+    end_proximity: float = 50.0
+    backtrack_depth: int = 2
+    reacquire_interval: int = 5
+    update_on_off_map: bool = True
+    update_on_reacquire: bool = False
+    use_corrected_position: bool = True
+    speed_limit_factor: Optional[float] = None
+
+    def matcher_config(self) -> MatcherConfig:
+        """The corresponding :class:`~repro.mapmatching.MatcherConfig`."""
+        return MatcherConfig(
+            tolerance=self.matching_tolerance,
+            end_proximity=self.end_proximity,
+            backtrack_depth=self.backtrack_depth,
+            reacquire_interval=self.reacquire_interval,
+        )
+
+
+class MapBasedProtocol(UpdateProtocol):
+    """Map-based dead reckoning.
+
+    Parameters
+    ----------
+    accuracy:
+        Requested accuracy ``us`` at the server, in metres.
+    roadmap:
+        The road map shared by source and server.
+    sensor_uncertainty:
+        Sensor uncertainty ``up`` in metres.
+    estimation_window:
+        Window for the speed/heading estimate.
+    turn_policy:
+        Intersection choice policy of the prediction function; defaults to
+        the paper's smallest-angle rule.
+    config:
+        Map-matching and protocol behaviour knobs.
+    """
+
+    name = "map-based dead reckoning"
+
+    def __init__(
+        self,
+        accuracy: float,
+        roadmap: RoadMap,
+        sensor_uncertainty: float = 0.0,
+        estimation_window: int = 4,
+        turn_policy: Optional[TurnPolicy] = None,
+        config: Optional[MapBasedConfig] = None,
+    ):
+        super().__init__(accuracy, sensor_uncertainty, estimation_window)
+        self.roadmap = roadmap
+        self.config = config or MapBasedConfig()
+        self._turn_policy = turn_policy or SmallestAngleTurnPolicy()
+        self._prediction = MapPrediction(
+            roadmap,
+            self._turn_policy,
+            speed_limit_factor=self.config.speed_limit_factor,
+        )
+        self.matcher = IncrementalMapMatcher(roadmap, self.config.matcher_config())
+        self._last_match: Optional[MatchResult] = None
+
+    # ------------------------------------------------------------------ #
+    # UpdateProtocol interface
+    # ------------------------------------------------------------------ #
+    def prediction_function(self) -> PredictionFunction:
+        return self._prediction
+
+    def _pre_decision_hook(
+        self, time: float, position: np.ndarray, velocity: np.ndarray, speed: float
+    ) -> None:
+        # The heading disambiguates the two carriageways of two-way roads;
+        # below ~1 m/s the heading estimate is dominated by sensor noise and
+        # is withheld from the matcher.
+        heading = velocity if speed > 1.0 else None
+        self._last_match = self.matcher.update(position, heading=heading)
+
+    def _should_update(
+        self, time: float, position: np.ndarray, velocity: np.ndarray, speed: float
+    ) -> Optional[UpdateReason]:
+        assert self.last_reported is not None
+        match = self._last_match
+        matched = match is not None and match.is_matched
+
+        # Losing the map: tell the server to fall back to linear prediction.
+        if (
+            self.config.update_on_off_map
+            and not matched
+            and self.last_reported.link_id is not None
+        ):
+            return UpdateReason.OFF_MAP
+
+        # Returning to the map (optional behaviour).
+        if (
+            self.config.update_on_reacquire
+            and matched
+            and self.last_reported.link_id is None
+        ):
+            return UpdateReason.REACQUIRED
+
+        if self._threshold_exceeded(time, position):
+            return UpdateReason.THRESHOLD
+        return None
+
+    def _build_state(
+        self, time: float, position: np.ndarray, velocity: np.ndarray, speed: float
+    ) -> ObjectState:
+        match = self._last_match
+        if match is not None and match.is_matched:
+            reported_position = (
+                match.position if self.config.use_corrected_position else position
+            )
+            return ObjectState(
+                time=time,
+                position=reported_position,
+                velocity=velocity,
+                speed=speed,
+                link_id=match.link_id,
+                link_offset=match.offset,
+                uncertainty=self.sensor_uncertainty,
+            )
+        # Off-map: transmit the raw position with an empty link; the shared
+        # prediction function degrades to linear prediction for such states.
+        return ObjectState(
+            time=time,
+            position=position,
+            velocity=velocity,
+            speed=speed,
+            link_id=None,
+            link_offset=None,
+            uncertainty=self.sensor_uncertainty,
+        )
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    @property
+    def last_match(self) -> Optional[MatchResult]:
+        """The result of matching the most recent sighting."""
+        return self._last_match
+
+    def matching_statistics(self) -> dict:
+        """Counters of the underlying map matcher."""
+        return self.matcher.statistics()
+
+    def reset(self) -> None:
+        super().reset()
+        self.matcher.reset()
+        self._last_match = None

@@ -1,0 +1,313 @@
+"""Prediction functions and turn policies.
+
+A prediction function maps the last reported object state and the current
+time to an assumed position; the same instance (same parameters) is used by
+the source and by the location server, which is what makes the deviation
+guarantee possible (paper Sec. 2).
+
+Turn policies encapsulate how the map-based prediction chooses an outgoing
+link at an intersection:
+
+* :class:`SmallestAngleTurnPolicy` — the paper's implementation ("the link
+  with the smallest angle to the previous link is selected");
+* :class:`MainRoadTurnPolicy` — the alternative the paper calls ideal
+  ("ideally, the function would select the main road") using the road class;
+* :class:`ProbabilisticTurnPolicy` — the *map-based with probability
+  information* variant, selecting the most probable successor.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.geo.angles import angle_between
+from repro.geo.vec import as_vec
+from repro.roadmap.elements import Link
+from repro.roadmap.graph import RoadMap
+from repro.roadmap.probability import TurnProbabilityTable
+from repro.roadmap.routing import Route
+
+
+class PredictionFunction(abc.ABC):
+    """Maps ``(last reported state, current time)`` to an assumed position."""
+
+    @abc.abstractmethod
+    def predict(self, state, time: float) -> np.ndarray:
+        """Predicted position of the object at *time*, in metres."""
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        return type(self).__name__
+
+
+class StaticPrediction(PredictionFunction):
+    """The object is assumed to stay at its last reported position.
+
+    This is the prediction implicit in the non-dead-reckoning reporting
+    protocols of the paper's earlier work [6].
+    """
+
+    def predict(self, state, time: float) -> np.ndarray:
+        return state.position.copy()
+
+
+class LinearPrediction(PredictionFunction):
+    """Constant-velocity extrapolation (the paper's linear prediction).
+
+    ``pred(o, t) = o.pos + o.dir * o.v * (t - o.t)``
+    """
+
+    def predict(self, state, time: float) -> np.ndarray:
+        dt = time - state.time
+        return state.position + state.velocity * dt
+
+
+class QuadraticPrediction(PredictionFunction):
+    """Constant-acceleration extrapolation (a higher-order prediction function).
+
+    The paper mentions higher-order prediction functions as a variant
+    (Sec. 2) but does not evaluate them; they are provided here for the
+    ablation benchmarks.  States without an acceleration estimate degrade to
+    linear prediction.
+    """
+
+    def __init__(self, max_horizon: float = 60.0):
+        #: Beyond this many seconds the acceleration term is frozen, because
+        #: extrapolating a quadratic far into the future diverges quickly.
+        self.max_horizon = float(max_horizon)
+
+    def predict(self, state, time: float) -> np.ndarray:
+        dt = min(time - state.time, self.max_horizon)
+        position = state.position + state.velocity * dt
+        acceleration = getattr(state, "acceleration", None)
+        if acceleration is not None:
+            position = position + 0.5 * as_vec(acceleration) * dt * dt
+        return position
+
+
+# --------------------------------------------------------------------------- #
+# turn policies
+# --------------------------------------------------------------------------- #
+class TurnPolicy(abc.ABC):
+    """Chooses the outgoing link the object is assumed to follow at an intersection."""
+
+    @abc.abstractmethod
+    def choose(self, roadmap: RoadMap, current: Link) -> Optional[Link]:
+        """The successor of *current* the prediction should follow (or ``None``)."""
+
+
+class SmallestAngleTurnPolicy(TurnPolicy):
+    """Select the outgoing link with the smallest angle to the previous link.
+
+    Ties are broken by link id so that source and server always make the
+    same, deterministic choice.
+    """
+
+    def choose(self, roadmap: RoadMap, current: Link) -> Optional[Link]:
+        successors = roadmap.successors(current)
+        if not successors:
+            return None
+        exit_direction = current.direction_at(current.length)
+        return min(
+            successors,
+            key=lambda link: (angle_between(exit_direction, link.direction_at(0.0)), link.id),
+        )
+
+
+class MainRoadTurnPolicy(TurnPolicy):
+    """Prefer the most important road class; break ties by smallest angle.
+
+    The paper notes that ideally the prediction "would select the main
+    road"; this policy implements that using the road-class priority stored
+    in the map.
+    """
+
+    def choose(self, roadmap: RoadMap, current: Link) -> Optional[Link]:
+        successors = roadmap.successors(current)
+        if not successors:
+            return None
+        exit_direction = current.direction_at(current.length)
+        return min(
+            successors,
+            key=lambda link: (
+                -link.road_class.priority,
+                angle_between(exit_direction, link.direction_at(0.0)),
+                link.id,
+            ),
+        )
+
+
+class ProbabilisticTurnPolicy(TurnPolicy):
+    """Select the most probable successor according to a turn-probability table.
+
+    Falls back to the smallest-angle policy when the table has no
+    observations for an intersection (uniform probabilities), because in
+    that situation geometry is the better prior.
+    """
+
+    def __init__(self, table: TurnProbabilityTable):
+        self.table = table
+        self._fallback = SmallestAngleTurnPolicy()
+
+    def choose(self, roadmap: RoadMap, current: Link) -> Optional[Link]:
+        probabilities = self.table.transition_probabilities(current)
+        if not probabilities:
+            return None
+        values = sorted(probabilities.values())
+        if len(values) > 1 and abs(values[-1] - values[0]) < 1e-12:
+            # No information recorded (uniform); use geometry instead.
+            return self._fallback.choose(roadmap, current)
+        return self.table.most_probable_successor(current)
+
+
+# --------------------------------------------------------------------------- #
+# map-based prediction
+# --------------------------------------------------------------------------- #
+class MapPrediction(PredictionFunction):
+    """Advance the object along the road network at its reported speed.
+
+    From the reported (corrected) position on the reported link, the object
+    is assumed to keep following the link geometry; when it reaches the end
+    of a link the turn policy selects the next link, "which it assumes the
+    object to keep on following in the same manner" (paper Sec. 3).  States
+    without link information (off-map fallback) degrade to linear prediction.
+
+    Parameters
+    ----------
+    roadmap:
+        The shared map (the ``param`` of ``pred(o, param, t)``).
+    turn_policy:
+        Intersection choice policy; the paper's default is smallest angle.
+    max_links_ahead:
+        Safety bound on how many links a single prediction may walk past,
+        protecting against degenerate maps with very short links.
+    speed_limit_factor:
+        When set, the assumed speed on every link is capped at
+        ``speed_limit_factor * link.speed_limit``.  This implements the
+        paper's future-work idea of using "knowledge about the speed limits
+        for the roads to appropriately change the mobile object's assumed
+        speed" — e.g. a car predicted to leave the motorway onto an exit ramp
+        is no longer assumed to keep doing 120 km/h on it.  ``None`` (the
+        paper's evaluated protocol) always uses the reported speed.
+    """
+
+    def __init__(
+        self,
+        roadmap: RoadMap,
+        turn_policy: Optional[TurnPolicy] = None,
+        max_links_ahead: int = 64,
+        speed_limit_factor: Optional[float] = None,
+    ):
+        if speed_limit_factor is not None and speed_limit_factor <= 0:
+            raise ValueError("speed_limit_factor must be positive (or None)")
+        self.roadmap = roadmap
+        self.turn_policy = turn_policy or SmallestAngleTurnPolicy()
+        self.max_links_ahead = int(max_links_ahead)
+        self.speed_limit_factor = speed_limit_factor
+        self._linear = LinearPrediction()
+
+    def _assumed_speed(self, state, link: Link) -> float:
+        """Speed the object is assumed to travel at on *link*."""
+        if self.speed_limit_factor is None:
+            return state.speed
+        return min(state.speed, self.speed_limit_factor * link.speed_limit)
+
+    def predict(self, state, time: float) -> np.ndarray:
+        if state.link_id is None or not self.roadmap.has_link(state.link_id):
+            return self._linear.predict(state, time)
+        link = self.roadmap.link(state.link_id)
+        offset = float(state.link_offset if state.link_offset is not None else 0.0)
+        if self.speed_limit_factor is None:
+            # Constant assumed speed: walk a distance budget along the links.
+            remaining = state.speed * max(0.0, time - state.time)
+            for _ in range(self.max_links_ahead):
+                available = link.length - offset
+                if remaining <= available:
+                    return link.point_at(offset + remaining)
+                remaining -= available
+                nxt = self.turn_policy.choose(self.roadmap, link)
+                if nxt is None:
+                    # Dead end: the object is assumed to stop at the end of the link.
+                    return link.point_at(link.length)
+                link = nxt
+                offset = 0.0
+            return link.point_at(link.length)
+
+        # Speed-limit-aware variant: the assumed speed changes per link, so a
+        # time budget is walked instead of a distance budget.
+        remaining_time = max(0.0, time - state.time)
+        for _ in range(self.max_links_ahead):
+            speed = self._assumed_speed(state, link)
+            if speed <= 0.0:
+                return link.point_at(offset)
+            time_to_end = (link.length - offset) / speed
+            if remaining_time <= time_to_end:
+                return link.point_at(offset + speed * remaining_time)
+            remaining_time -= time_to_end
+            nxt = self.turn_policy.choose(self.roadmap, link)
+            if nxt is None:
+                return link.point_at(link.length)
+            link = nxt
+            offset = 0.0
+        return link.point_at(link.length)
+
+    def predict_link(self, state, time: float) -> Tuple[Optional[int], float]:
+        """The link and offset the object is predicted to occupy at *time*.
+
+        Exposed for diagnostics and tests; mirrors :meth:`predict`.
+        """
+        if state.link_id is None or not self.roadmap.has_link(state.link_id):
+            return None, 0.0
+        link = self.roadmap.link(state.link_id)
+        offset = float(state.link_offset or 0.0)
+        remaining = state.speed * max(0.0, time - state.time)
+        for _ in range(self.max_links_ahead):
+            available = link.length - offset
+            if remaining <= available:
+                return link.id, offset + remaining
+            remaining -= available
+            nxt = self.turn_policy.choose(self.roadmap, link)
+            if nxt is None:
+                return link.id, link.length
+            link = nxt
+            offset = 0.0
+        return link.id, link.length
+
+    def describe(self) -> str:
+        return f"MapPrediction({type(self.turn_policy).__name__})"
+
+
+class RoutePrediction(PredictionFunction):
+    """Advance the object along a pre-known route at its reported speed.
+
+    Implements the *dead-reckoning with known route* variant (paper Sec. 2,
+    following Wolfson et al. [12]): only the speed matters because the
+    geometry is fixed.  The starting offset along the route is taken from the
+    reported state's ``link_offset`` field when present (the known-route
+    source tracks its route offset monotonically and transmits it); states
+    without it fall back to a global projection of the reported position,
+    which is only safe for routes that do not self-intersect.
+    """
+
+    def __init__(self, route: Route):
+        self.route = route
+        self._offset_cache: Dict[int, float] = {}
+
+    def _start_offset(self, state) -> float:
+        if state.link_offset is not None:
+            return float(state.link_offset)
+        key = id(state)
+        cached = self._offset_cache.get(key)
+        if cached is None:
+            cached = self.route.project(state.position)[1]
+            if len(self._offset_cache) > 256:
+                self._offset_cache.clear()
+            self._offset_cache[key] = cached
+        return cached
+
+    def predict(self, state, time: float) -> np.ndarray:
+        offset = self._start_offset(state) + state.speed * max(0.0, time - state.time)
+        return self.route.point_at(min(offset, self.route.length))

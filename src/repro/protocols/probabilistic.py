@@ -1,0 +1,51 @@
+"""Map-based dead reckoning with turn-probability information.
+
+"To improve the prediction of the subsequent direction after a mobile
+object has passed an intersection, the links in the map can be enhanced with
+probability information. [...] The prediction function then assumes that the
+object is following the link with the highest probability." (paper Sec. 2)
+
+The probabilities can be *user-independent* (pooled over all objects) or
+*user-specific* (learned from one object's own history); both are just
+different ways of filling the same
+:class:`~repro.roadmap.probability.TurnProbabilityTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.mapbased import MapBasedConfig, MapBasedProtocol
+from repro.protocols.prediction import ProbabilisticTurnPolicy
+from repro.roadmap.graph import RoadMap
+from repro.roadmap.probability import TurnProbabilityTable
+
+
+class ProbabilisticMapBasedProtocol(MapBasedProtocol):
+    """Map-based dead reckoning whose turn policy follows learned probabilities."""
+
+    name = "map-based dead reckoning (probabilities)"
+
+    def __init__(
+        self,
+        accuracy: float,
+        roadmap: RoadMap,
+        turn_probabilities: TurnProbabilityTable,
+        sensor_uncertainty: float = 0.0,
+        estimation_window: int = 4,
+        config: Optional[MapBasedConfig] = None,
+    ):
+        if turn_probabilities.roadmap is not roadmap:
+            raise ValueError(
+                "the turn-probability table must refer to the same road map "
+                "instance used by the protocol"
+            )
+        super().__init__(
+            accuracy=accuracy,
+            roadmap=roadmap,
+            sensor_uncertainty=sensor_uncertainty,
+            estimation_window=estimation_window,
+            turn_policy=ProbabilisticTurnPolicy(turn_probabilities),
+            config=config,
+        )
+        self.turn_probabilities = turn_probabilities

@@ -1,0 +1,37 @@
+"""Road-map model, generators, routing and learning.
+
+The paper's map model (Sec. 3, Fig. 4) consists of *intersections* (nodes
+with a unique identifier and an exact geographical location), *links*
+(directed connections between two intersections with a unique identifier)
+and *shape points* that refine the geometry of a link into sub-links.  The
+model here adds two attributes the paper mentions as useful refinements:
+a road class (motorway / primary / residential / footpath) and a speed limit.
+
+Because the original commercial navigation map is not available, the
+:mod:`repro.roadmap.generators` module synthesises networks with the same
+structural characteristics (curved freeway corridors, inter-urban networks,
+dense city grids, pedestrian streets), and :mod:`repro.roadmap.history`
+implements the paper's *history-based* variant that learns a map from
+observed traces.
+"""
+
+from repro.roadmap.elements import Intersection, Link, RoadClass
+from repro.roadmap.graph import RoadMap
+from repro.roadmap.builder import RoadMapBuilder
+from repro.roadmap.routing import Route, RoutePlanner
+from repro.roadmap.probability import TurnProbabilityTable
+from repro.roadmap import generators
+from repro.roadmap import io
+
+__all__ = [
+    "Intersection",
+    "Link",
+    "RoadClass",
+    "RoadMap",
+    "RoadMapBuilder",
+    "Route",
+    "RoutePlanner",
+    "TurnProbabilityTable",
+    "generators",
+    "io",
+]

@@ -1,0 +1,79 @@
+"""Serialisation of road maps to and from JSON.
+
+A portable, dependency-free JSON format keeps maps reproducible across runs
+and lets users plug in their own networks (for example, one exported from
+OpenStreetMap by an external tool) without touching the generators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.roadmap.builder import RoadMapBuilder
+from repro.roadmap.elements import RoadClass
+from repro.roadmap.graph import RoadMap
+
+#: Format version written into every file; bumped on incompatible changes.
+FORMAT_VERSION = 1
+
+
+def roadmap_to_dict(roadmap: RoadMap) -> dict:
+    """Convert a :class:`RoadMap` to a JSON-serialisable dictionary."""
+    return {
+        "format": "repro-roadmap",
+        "version": FORMAT_VERSION,
+        "intersections": [
+            {"id": node.id, "x": float(node.position[0]), "y": float(node.position[1])}
+            for node in roadmap.intersections.values()
+        ],
+        "links": [
+            {
+                "id": link.id,
+                "from": link.from_node,
+                "to": link.to_node,
+                "road_class": link.road_class.value,
+                "speed_limit": float(link.speed_limit),
+                "name": link.name,
+                "shape_points": [
+                    [float(x), float(y)] for x, y in link.shape_points()
+                ],
+            }
+            for link in roadmap.links.values()
+        ],
+    }
+
+
+def roadmap_from_dict(data: dict) -> RoadMap:
+    """Rebuild a :class:`RoadMap` from :func:`roadmap_to_dict` output."""
+    if data.get("format") != "repro-roadmap":
+        raise ValueError("not a repro road-map document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported road-map format version {data.get('version')!r}")
+    builder = RoadMapBuilder()
+    for node in data["intersections"]:
+        builder.add_intersection((node["x"], node["y"]), node_id=int(node["id"]))
+    for link in data["links"]:
+        builder.add_link(
+            from_node=int(link["from"]),
+            to_node=int(link["to"]),
+            shape_points=[(float(x), float(y)) for x, y in link.get("shape_points", [])],
+            road_class=RoadClass(link.get("road_class", RoadClass.SECONDARY.value)),
+            speed_limit=float(link["speed_limit"]) if link.get("speed_limit") else None,
+            name=link.get("name", ""),
+            link_id=int(link["id"]),
+        )
+    return builder.build()
+
+
+def save_roadmap(roadmap: RoadMap, path: Union[str, Path]) -> None:
+    """Write *roadmap* to *path* as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(roadmap_to_dict(roadmap)), encoding="utf-8")
+
+
+def load_roadmap(path: Union[str, Path]) -> RoadMap:
+    """Read a road map previously written by :func:`save_roadmap`."""
+    path = Path(path)
+    return roadmap_from_dict(json.loads(path.read_text(encoding="utf-8")))

@@ -1,0 +1,32 @@
+"""Location-service substrate.
+
+The paper's system model (Fig. 1) has a *source* co-located with the mobile
+object's positioning sensor and a *location server* that stores the reported
+object state, applies the shared prediction function and answers position
+queries from applications.  This package provides those two components plus
+the message channel between them and the query API applications use
+("find the nearest taxi cab", "address all users inside an area",
+paper Sec. 1).
+"""
+
+from repro.service.channel import ChannelStats, MessageChannel
+from repro.service.server import LocationServer, TrackedObject
+from repro.service.source import LocationSource
+from repro.service.queries import (
+    PositionQueryResult,
+    position_query,
+    range_query,
+    nearest_object_query,
+)
+
+__all__ = [
+    "MessageChannel",
+    "ChannelStats",
+    "LocationServer",
+    "TrackedObject",
+    "LocationSource",
+    "PositionQueryResult",
+    "position_query",
+    "range_query",
+    "nearest_object_query",
+]

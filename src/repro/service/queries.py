@@ -1,0 +1,83 @@
+"""Application-level queries against the location server.
+
+The paper motivates the location service with queries such as "find the
+nearest taxi cab depending on the user's current location" and "address all
+users that are currently inside a department of a store" (Sec. 1).  These
+helpers implement the three standard flavours on top of the server's
+predicted positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.vec import Vec2, as_vec, distance
+from repro.service.server import LocationServer
+
+
+@dataclass(frozen=True)
+class PositionQueryResult:
+    """Answer to a position query."""
+
+    object_id: str
+    position: Optional[np.ndarray]
+    accuracy: float
+    last_update_time: Optional[float]
+
+
+def position_query(server: LocationServer, object_id: str, time: float) -> PositionQueryResult:
+    """Where is *object_id* (assumed to be) at *time*?
+
+    The answer carries the accuracy the source guarantees, so applications
+    can reason about the uncertainty of the returned position.
+    """
+    record = server.tracked_object(object_id)
+    return PositionQueryResult(
+        object_id=object_id,
+        position=record.predict(time),
+        accuracy=record.accuracy,
+        last_update_time=record.last_update_time,
+    )
+
+
+def range_query(
+    server: LocationServer, area: BoundingBox, time: float, margin: float = 0.0
+) -> List[str]:
+    """All objects whose predicted position lies inside *area* at *time*.
+
+    *margin* grows the area by the per-object accuracy bound when positive
+    multiples of it are desired (e.g. ``margin=1.0`` adds one accuracy radius),
+    so that the query never misses an object that could actually be inside.
+    """
+    hits: List[str] = []
+    for object_id in server.object_ids():
+        record = server.tracked_object(object_id)
+        predicted = record.predict(time)
+        if predicted is None:
+            continue
+        effective_area = area
+        if margin > 0.0 and record.accuracy != float("inf"):
+            effective_area = area.expanded(margin * record.accuracy)
+        if effective_area.contains_point(predicted):
+            hits.append(object_id)
+    return sorted(hits)
+
+
+def nearest_object_query(
+    server: LocationServer, point: Vec2, time: float, k: int = 1
+) -> List[Tuple[str, float]]:
+    """The *k* objects predicted to be closest to *point* at *time*.
+
+    Returns ``(object_id, distance)`` pairs sorted by distance.  Objects that
+    have never reported are ignored.
+    """
+    p = as_vec(point)
+    scored: List[Tuple[str, float]] = []
+    for object_id, predicted in server.all_positions(time).items():
+        scored.append((object_id, distance(predicted, p)))
+    scored.sort(key=lambda pair: (pair[1], pair[0]))
+    return scored[: max(0, k)]

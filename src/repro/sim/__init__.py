@@ -1,0 +1,24 @@
+"""Simulation engine: coupling traces, protocols, channel and server.
+
+This is the equivalent of the paper's simulator (Sec. 4): "we have simulated
+the movements of a mobile object and in our simulator provided the
+functionality for transmitting the location information between a source and
+a server.  Different variants of update protocols can be plugged into the
+simulator and be compared according to the number of updates transmitted and
+the resulting accuracy on the server."
+"""
+
+from repro.sim.metrics import AccuracyMetrics, SimulationResult
+from repro.sim.engine import ProtocolSimulation, run_simulation
+from repro.sim.sweep import SweepPoint, run_accuracy_sweep
+from repro.sim.config import SimulationConfig
+
+__all__ = [
+    "AccuracyMetrics",
+    "SimulationResult",
+    "ProtocolSimulation",
+    "run_simulation",
+    "SweepPoint",
+    "run_accuracy_sweep",
+    "SimulationConfig",
+]

@@ -1,0 +1,127 @@
+"""The protocol simulation loop.
+
+:class:`ProtocolSimulation` replays a sensor trace through a source running
+an update protocol, transmits the resulting updates over a message channel
+to a location server, and measures the error between the server's predicted
+position and the ground truth at every sample — the paper's experimental
+setup (Sec. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.geo.vec import distance
+from repro.protocols.base import UpdateProtocol, UpdateReason
+from repro.service.channel import MessageChannel
+from repro.service.server import LocationServer
+from repro.service.source import LocationSource
+from repro.sim.metrics import AccuracyMetrics, SimulationResult
+from repro.traces.trace import Trace
+
+
+@dataclass
+class ProtocolSimulation:
+    """One object, one protocol, one trace.
+
+    Parameters
+    ----------
+    protocol:
+        The (source-side) update protocol under test.
+    sensor_trace:
+        What the positioning sensor reports (noisy positions).
+    truth_trace:
+        Ground-truth positions used to measure the accuracy actually
+        delivered at the server.  Must be sampled at the same timestamps as
+        the sensor trace.  When omitted, the sensor trace doubles as truth.
+    channel:
+        Source-to-server channel; defaults to loss-free and instantaneous.
+    object_id:
+        Identifier under which the object is registered at the server.
+    count_initial_update:
+        Whether the very first update (the one that bootstraps the server)
+        is included in the update count.  The paper counts transmitted
+        messages, so the default is ``True``; the effect on updates/hour is
+        negligible for hour-long traces.
+    """
+
+    protocol: UpdateProtocol
+    sensor_trace: Trace
+    truth_trace: Optional[Trace] = None
+    channel: Optional[MessageChannel] = None
+    object_id: str = "object-0"
+    count_initial_update: bool = True
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return the collected metrics."""
+        truth = self.truth_trace if self.truth_trace is not None else self.sensor_trace
+        if len(truth) != len(self.sensor_trace):
+            raise ValueError("sensor and truth traces must have the same length")
+        if not np.allclose(truth.times, self.sensor_trace.times):
+            raise ValueError("sensor and truth traces must share their timestamps")
+
+        channel = self.channel or MessageChannel()
+        server = LocationServer()
+        server.register_object(
+            self.object_id,
+            prediction=self.protocol.prediction_function(),
+            accuracy=self.protocol.accuracy,
+        )
+        source = LocationSource(self.object_id, self.protocol, channel)
+
+        metrics = AccuracyMetrics()
+        metrics.set_bound(self.protocol.accuracy)
+        reasons: dict[str, int] = {}
+
+        times = self.sensor_trace.times
+        sensor_positions = self.sensor_trace.positions
+        truth_positions = truth.positions
+
+        for i in range(len(times)):
+            t = float(times[i])
+            message = source.process_sighting(t, sensor_positions[i])
+            if message is not None:
+                reasons[message.reason.value] = reasons.get(message.reason.value, 0) + 1
+            for obj_id, delivered in channel.deliver_due(t):
+                server.receive_update(obj_id, delivered, t)
+            predicted = server.predict_position(self.object_id, t)
+            if predicted is not None:
+                metrics.record(distance(predicted, truth_positions[i]))
+
+        updates = source.updates_sent
+        if not self.count_initial_update and updates > 0:
+            updates -= 1
+
+        matcher_stats = {}
+        matching_statistics = getattr(self.protocol, "matching_statistics", None)
+        if callable(matching_statistics):
+            matcher_stats = matching_statistics()
+
+        return SimulationResult(
+            protocol_name=self.protocol.name,
+            accuracy=self.protocol.accuracy,
+            duration_h=self.sensor_trace.duration / 3600.0,
+            updates=updates,
+            bytes_sent=self.protocol.bytes_sent,
+            metrics=metrics,
+            update_reasons=reasons,
+            matcher_stats=matcher_stats,
+        )
+
+
+def run_simulation(
+    protocol: UpdateProtocol,
+    sensor_trace: Trace,
+    truth_trace: Optional[Trace] = None,
+    channel: Optional[MessageChannel] = None,
+) -> SimulationResult:
+    """Convenience wrapper around :class:`ProtocolSimulation`."""
+    return ProtocolSimulation(
+        protocol=protocol,
+        sensor_trace=sensor_trace,
+        truth_trace=truth_trace,
+        channel=channel,
+    ).run()

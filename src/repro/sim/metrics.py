@@ -1,0 +1,155 @@
+"""Metrics collected by a protocol simulation.
+
+The paper's primary metric is the number of update messages per hour for a
+requested accuracy; the secondary one is the accuracy actually delivered at
+the server.  :class:`AccuracyMetrics` accumulates both, plus bandwidth, in a
+single pass (no per-sample Python objects are kept, only running sums and a
+reservoir for the error distribution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class AccuracyMetrics:
+    """Streaming accumulator of server-side position error."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        self._max = 0.0
+        self._errors: List[float] = []
+        self._violations = 0
+        self._bound: Optional[float] = None
+
+    def set_bound(self, bound: float) -> None:
+        """Define the accuracy bound used to count violations (``us``)."""
+        self._bound = float(bound)
+
+    def record(self, error: float) -> None:
+        """Record one server-vs-truth position error sample (metres)."""
+        error = float(error)
+        self._count += 1
+        self._sum += error
+        self._sum_sq += error * error
+        if error > self._max:
+            self._max = error
+        self._errors.append(error)
+        if self._bound is not None and error > self._bound:
+            self._violations += 1
+
+    # ------------------------------------------------------------------ #
+    # summary statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return self._count
+
+    @property
+    def mean_error(self) -> float:
+        """Mean position error in metres."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def rms_error(self) -> float:
+        """Root-mean-square position error in metres."""
+        return math.sqrt(self._sum_sq / self._count) if self._count else 0.0
+
+    @property
+    def max_error(self) -> float:
+        """Maximum position error in metres."""
+        return self._max
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0-100) of the error distribution."""
+        if not self._errors:
+            return 0.0
+        return float(np.percentile(np.array(self._errors), q))
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of samples whose error exceeded the configured bound."""
+        if self._count == 0 or self._bound is None:
+            return 0.0
+        return self._violations / self._count
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary dictionary used by reports."""
+        return {
+            "samples": float(self._count),
+            "mean_error_m": self.mean_error,
+            "rms_error_m": self.rms_error,
+            "p95_error_m": self.percentile(95.0),
+            "max_error_m": self.max_error,
+            "violation_fraction": self.violation_fraction,
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of running one protocol over one trace.
+
+    Attributes
+    ----------
+    protocol_name:
+        Human-readable protocol name.
+    accuracy:
+        The requested accuracy ``us`` in metres.
+    duration_h:
+        Simulated duration in hours.
+    updates:
+        Number of update messages counted by the evaluation (the initial
+        update is included, as in the paper's counting of transmitted
+        messages).
+    bytes_sent:
+        Total update payload bytes transmitted.
+    metrics:
+        Server-side accuracy metrics.
+    update_reasons:
+        Histogram of why updates were sent.
+    matcher_stats:
+        Map-matcher counters (empty for protocols without a matcher).
+    """
+
+    protocol_name: str
+    accuracy: float
+    duration_h: float
+    updates: int
+    bytes_sent: int
+    metrics: AccuracyMetrics
+    update_reasons: Dict[str, int] = field(default_factory=dict)
+    matcher_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def updates_per_hour(self) -> float:
+        """The paper's headline metric: update messages per hour."""
+        if self.duration_h <= 0:
+            return 0.0
+        return self.updates / self.duration_h
+
+    @property
+    def bytes_per_hour(self) -> float:
+        """Transmitted payload bytes per hour."""
+        if self.duration_h <= 0:
+            return 0.0
+        return self.bytes_sent / self.duration_h
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary used by the report renderer and benchmarks."""
+        out: Dict[str, object] = {
+            "protocol": self.protocol_name,
+            "us_m": self.accuracy,
+            "updates": self.updates,
+            "updates_per_hour": round(self.updates_per_hour, 2),
+            "bytes_per_hour": round(self.bytes_per_hour, 1),
+            "duration_h": round(self.duration_h, 3),
+        }
+        out.update({k: round(v, 2) for k, v in self.metrics.as_dict().items()})
+        return out

@@ -1,0 +1,77 @@
+"""Parameter sweeps over the requested accuracy.
+
+The paper's figures plot updates per hour against the accuracy requested at
+the server (20-500 m for cars, 20-250 m for a walking person), one curve per
+protocol.  :func:`run_accuracy_sweep` produces exactly those curves for one
+scenario and one protocol configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.mobility.scenarios import Scenario
+from repro.protocols.base import UpdateProtocol
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import ProtocolSimulation
+from repro.sim.metrics import SimulationResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a protocol's curve: a requested accuracy and its result."""
+
+    accuracy: float
+    result: SimulationResult
+
+    @property
+    def updates_per_hour(self) -> float:
+        """Shortcut to the headline metric."""
+        return self.result.updates_per_hour
+
+
+def run_accuracy_sweep(
+    scenario: Scenario,
+    protocol_factory: Callable[[float], UpdateProtocol],
+    accuracies: Optional[Sequence[float]] = None,
+) -> List[SweepPoint]:
+    """Run *protocol_factory* over every requested accuracy of the scenario.
+
+    Parameters
+    ----------
+    scenario:
+        The movement scenario (provides sensor/truth traces and the default
+        accuracy sweep).
+    protocol_factory:
+        Callable mapping a requested accuracy ``us`` to a fresh protocol
+        instance.  A fresh instance per point is required because protocols
+        are stateful.
+    accuracies:
+        Override of the accuracy values; defaults to the scenario's sweep.
+    """
+    points: List[SweepPoint] = []
+    for us in accuracies if accuracies is not None else scenario.us_values:
+        protocol = protocol_factory(float(us))
+        result = ProtocolSimulation(
+            protocol=protocol,
+            sensor_trace=scenario.sensor_trace,
+            truth_trace=scenario.true_trace,
+        ).run()
+        points.append(SweepPoint(accuracy=float(us), result=result))
+    return points
+
+
+def run_config_sweep(
+    scenario: Scenario,
+    protocol_id: str,
+    accuracies: Optional[Sequence[float]] = None,
+    **config_kwargs,
+) -> List[SweepPoint]:
+    """Sweep a protocol identified by its :class:`SimulationConfig` id."""
+
+    def factory(us: float) -> UpdateProtocol:
+        config = SimulationConfig(protocol_id=protocol_id, accuracy=us, **config_kwargs)
+        return config.build_protocol(scenario)
+
+    return run_accuracy_sweep(scenario, factory, accuracies)

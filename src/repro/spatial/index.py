@@ -1,0 +1,142 @@
+"""Common interface for spatial indexes.
+
+An index stores *items*: arbitrary payload objects together with a bounding
+box and a distance callback.  For road maps the payload is a link identifier,
+the bounding box is the link geometry's bounds and the distance callback is
+the polyline point-to-line distance.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterable, Optional, Sequence, TypeVar
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.vec import Vec2, as_vec
+
+T = TypeVar("T", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class IndexedItem(Generic[T]):
+    """A payload registered with a spatial index.
+
+    Parameters
+    ----------
+    key:
+        Identifier of the item (e.g. a link id).  Must be hashable.
+    bounds:
+        Axis-aligned bounding box of the item's geometry.
+    distance:
+        Callable returning the exact distance from a query point to the
+        item's geometry; used to refine candidate sets produced from the
+        bounding boxes.
+    """
+
+    key: T
+    bounds: BoundingBox
+    distance: Callable[[Vec2], float]
+
+
+class SpatialIndex(abc.ABC, Generic[T]):
+    """Abstract interface shared by :class:`GridIndex` and :class:`STRtree`."""
+
+    @abc.abstractmethod
+    def insert(self, item: IndexedItem[T]) -> None:
+        """Add an item to the index (not all indexes support late insertion)."""
+
+    @abc.abstractmethod
+    def query_bbox(self, box: BoundingBox) -> list[IndexedItem[T]]:
+        """All items whose bounding boxes intersect *box*."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of items stored."""
+
+    # ------------------------------------------------------------------ #
+    # generic algorithms built on top of query_bbox
+    # ------------------------------------------------------------------ #
+    def query_radius(self, point: Vec2, radius: float) -> list[IndexedItem[T]]:
+        """Items whose exact geometry lies within *radius* metres of *point*.
+
+        Candidates are produced by a bounding-box query and then refined with
+        the items' distance callbacks, so the result is exact.
+        """
+        p = as_vec(point)
+        box = BoundingBox.around(p, radius)
+        out = []
+        for item in self.query_bbox(box):
+            if item.distance(p) <= radius:
+                out.append(item)
+        return out
+
+    def nearest(
+        self, point: Vec2, max_distance: Optional[float] = None
+    ) -> Optional[tuple[IndexedItem[T], float]]:
+        """The item closest to *point*, optionally within *max_distance*.
+
+        Returns ``(item, distance)`` or ``None`` if no item qualifies.  The
+        search expands the query radius geometrically starting from a small
+        initial guess, which gives near-O(1) behaviour for the localised
+        queries the map matcher issues.
+        """
+        p = as_vec(point)
+        if len(self) == 0:
+            return None
+        if max_distance is not None and max_distance <= 0:
+            return None
+        radius = self._initial_radius() if max_distance is None else max_distance
+        limit = max_distance if max_distance is not None else float("inf")
+        best: Optional[tuple[IndexedItem[T], float]] = None
+        while True:
+            candidates = self.query_bbox(BoundingBox.around(p, radius))
+            for item in candidates:
+                d = item.distance(p)
+                if d <= limit and (best is None or d < best[1]):
+                    best = (item, d)
+            if best is not None and best[1] <= radius:
+                return best
+            if radius >= limit:
+                return best
+            radius = min(radius * 4.0, limit if limit != float("inf") else radius * 4.0)
+            if radius > 1e9:  # pathological fallback: scanned everything
+                return best
+
+    def k_nearest(
+        self, point: Vec2, k: int, max_distance: Optional[float] = None
+    ) -> list[tuple[IndexedItem[T], float]]:
+        """The *k* items closest to *point*, sorted by distance."""
+        p = as_vec(point)
+        if k <= 0 or len(self) == 0:
+            return []
+        radius = self._initial_radius() if max_distance is None else max_distance
+        limit = max_distance if max_distance is not None else float("inf")
+        while True:
+            candidates = self.query_bbox(BoundingBox.around(p, radius))
+            scored = sorted(
+                ((item, item.distance(p)) for item in candidates), key=lambda x: x[1]
+            )
+            scored = [(it, d) for it, d in scored if d <= limit]
+            if len(scored) >= k and scored[k - 1][1] <= radius:
+                return scored[:k]
+            if radius >= limit or len(candidates) == len(self):
+                return scored[:k]
+            radius *= 4.0
+
+    def _initial_radius(self) -> float:
+        """Starting radius for expanding nearest-neighbour searches."""
+        return 50.0
+
+
+def brute_force_nearest(
+    items: Sequence[IndexedItem[T]], point: Vec2
+) -> Optional[tuple[IndexedItem[T], float]]:
+    """Reference O(n) nearest-item search used by tests to validate indexes."""
+    p = as_vec(point)
+    best: Optional[tuple[IndexedItem[T], float]] = None
+    for item in items:
+        d = item.distance(p)
+        if best is None or d < best[1]:
+            best = (item, d)
+    return best

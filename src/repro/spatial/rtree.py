@@ -1,0 +1,144 @@
+"""Static STR-packed R-tree.
+
+The Sort-Tile-Recursive (STR) packing algorithm builds a balanced R-tree in
+one pass over the item bounding boxes.  The road map is static for the whole
+simulation, so a bulk-loaded tree is a natural fit; it also serves as an
+independent implementation against which the grid index is cross-checked in
+the test-suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generic, Hashable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+from repro.geo.bbox import BoundingBox
+from repro.spatial.index import IndexedItem, SpatialIndex
+
+T = TypeVar("T", bound=Hashable)
+
+
+@dataclass
+class _Node(Generic[T]):
+    """Internal node: bounding box over children (nodes or leaf items)."""
+
+    bounds: BoundingBox
+    children: List[Union["_Node[T]", IndexedItem[T]]] = field(default_factory=list)
+    is_leaf: bool = True
+
+
+class STRtree(SpatialIndex[T]):
+    """Bulk-loaded R-tree using Sort-Tile-Recursive packing.
+
+    Parameters
+    ----------
+    items:
+        The items to index.  The tree is static: :meth:`insert` after
+        construction falls back to a small overflow list that is scanned
+        linearly, which keeps the interface compatible with
+        :class:`~repro.spatial.grid.GridIndex` for the rare dynamic use.
+    node_capacity:
+        Maximum number of children per node.
+    """
+
+    def __init__(
+        self, items: Optional[Iterable[IndexedItem[T]]] = None, node_capacity: int = 16
+    ):
+        if node_capacity < 2:
+            raise ValueError("node_capacity must be at least 2")
+        self.node_capacity = int(node_capacity)
+        self._items: List[IndexedItem[T]] = list(items) if items is not None else []
+        self._overflow: List[IndexedItem[T]] = []
+        self._root: Optional[_Node[T]] = self._build(self._items) if self._items else None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, items: Sequence[IndexedItem[T]]) -> _Node[T]:
+        leaves = self._pack_level(list(items), leaf=True)
+        level: List[_Node[T]] = leaves
+        while len(level) > 1:
+            level = self._pack_level(level, leaf=False)
+        return level[0]
+
+    def _pack_level(self, entries: list, leaf: bool) -> List[_Node[T]]:
+        """Group *entries* (items or nodes) into parent nodes via STR tiling."""
+
+        def bounds_of(entry) -> BoundingBox:
+            return entry.bounds
+
+        def center_x(entry) -> float:
+            b = bounds_of(entry)
+            return (b.min_x + b.max_x) * 0.5
+
+        def center_y(entry) -> float:
+            b = bounds_of(entry)
+            return (b.min_y + b.max_y) * 0.5
+
+        n = len(entries)
+        cap = self.node_capacity
+        n_nodes = max(1, math.ceil(n / cap))
+        n_slices = max(1, math.ceil(math.sqrt(n_nodes)))
+        per_slice = math.ceil(n / n_slices)
+
+        entries_sorted = sorted(entries, key=center_x)
+        nodes: List[_Node[T]] = []
+        for s in range(n_slices):
+            chunk = entries_sorted[s * per_slice : (s + 1) * per_slice]
+            if not chunk:
+                continue
+            chunk.sort(key=center_y)
+            for i in range(0, len(chunk), cap):
+                group = chunk[i : i + cap]
+                box = group[0].bounds
+                for entry in group[1:]:
+                    box = box.union(entry.bounds)
+                nodes.append(_Node(bounds=box, children=list(group), is_leaf=leaf))
+        return nodes
+
+    # ------------------------------------------------------------------ #
+    # SpatialIndex interface
+    # ------------------------------------------------------------------ #
+    def insert(self, item: IndexedItem[T]) -> None:
+        """Add an item after construction (stored in a linear overflow list)."""
+        self._items.append(item)
+        self._overflow.append(item)
+
+    def query_bbox(self, box: BoundingBox) -> list[IndexedItem[T]]:
+        """All items whose bounding boxes intersect *box*."""
+        out: List[IndexedItem[T]] = []
+        if self._root is not None:
+            stack: List[_Node[T]] = [self._root]
+            while stack:
+                node = stack.pop()
+                if not node.bounds.intersects(box):
+                    continue
+                if node.is_leaf:
+                    for item in node.children:  # type: ignore[assignment]
+                        if item.bounds.intersects(box):
+                            out.append(item)  # type: ignore[arg-type]
+                else:
+                    for child in node.children:
+                        stack.append(child)  # type: ignore[arg-type]
+        for item in self._overflow:
+            if item.bounds.intersects(box):
+                out.append(item)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def height(self) -> int:
+        """Height of the packed tree (0 for an empty tree)."""
+        if self._root is None:
+            return 0
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[assignment]
+            h += 1
+        return h

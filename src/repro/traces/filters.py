@@ -1,0 +1,128 @@
+"""Position filters for noisy sensor streams.
+
+The related-work section of the paper notes that navigation systems smooth
+GPS fixes with Kalman-style filters before map matching.  The protocols do
+not require filtering — the matching tolerance ``um`` absorbs the sensor
+noise — but a light-weight filter in front of the source reduces the jitter
+of the speed/heading estimate, which matters at walking speeds where the
+per-second movement is comparable to the noise.
+
+Two online filters are provided (both causal, O(1) per sample, and therefore
+usable inside the 1 Hz source loop):
+
+* :class:`MovingAverageFilter` — a sliding-window mean;
+* :class:`AlphaBetaFilter` — a fixed-gain position/velocity tracker, the
+  steady-state form of a Kalman filter with constant process/measurement
+  noise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.geo.vec import Vec2, as_vec
+from repro.traces.trace import Trace
+
+
+class MovingAverageFilter:
+    """Sliding-window mean of the last *window* position fixes.
+
+    Simple and robust, but introduces a lag of roughly half the window
+    duration, so it is best suited to slow movement (pedestrians).
+    """
+
+    def __init__(self, window: int = 5):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = int(window)
+        self._positions: Deque[np.ndarray] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        """Forget all past fixes."""
+        self._positions.clear()
+
+    def update(self, time: float, position: Vec2) -> np.ndarray:
+        """Feed one fix and return the filtered position."""
+        self._positions.append(as_vec(position))
+        return np.mean(np.array(self._positions), axis=0)
+
+    def filter_trace(self, trace: Trace) -> Trace:
+        """Filter a whole trace (stateless convenience wrapper)."""
+        self.reset()
+        filtered = np.array(
+            [self.update(t, p) for t, p in zip(trace.times, trace.positions)]
+        )
+        self.reset()
+        return trace.with_positions(filtered)
+
+
+class AlphaBetaFilter:
+    """Fixed-gain position/velocity tracker (alpha-beta filter).
+
+    Each step predicts the position from the previous estimate and velocity,
+    then corrects both with the measurement residual:
+
+    ``x_pred = x + v * dt``;  ``x = x_pred + alpha * r``;  ``v += beta * r / dt``
+
+    with ``r = measurement - x_pred``.  ``alpha`` close to 1 trusts the
+    sensor, close to 0 trusts the motion model.
+
+    Parameters
+    ----------
+    alpha:
+        Position correction gain in ``(0, 1]``.
+    beta:
+        Velocity correction gain in ``(0, 2)``; usually much smaller than
+        ``alpha``.
+    """
+
+    def __init__(self, alpha: float = 0.85, beta: float = 0.3):
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        if not (0.0 < beta < 2.0):
+            raise ValueError("beta must be in (0, 2)")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self._position: Optional[np.ndarray] = None
+        self._velocity = np.zeros(2)
+        self._time: Optional[float] = None
+
+    def reset(self) -> None:
+        """Forget the current state."""
+        self._position = None
+        self._velocity = np.zeros(2)
+        self._time = None
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """The filter's current velocity estimate (m/s)."""
+        return self._velocity.copy()
+
+    def update(self, time: float, position: Vec2) -> np.ndarray:
+        """Feed one fix and return the filtered position."""
+        measurement = as_vec(position)
+        if self._position is None or self._time is None:
+            self._position = measurement.copy()
+            self._time = float(time)
+            return self._position.copy()
+        dt = float(time) - self._time
+        if dt <= 0.0:
+            raise ValueError("timestamps must be strictly increasing")
+        predicted = self._position + self._velocity * dt
+        residual = measurement - predicted
+        self._position = predicted + self.alpha * residual
+        self._velocity = self._velocity + (self.beta / dt) * residual
+        self._time = float(time)
+        return self._position.copy()
+
+    def filter_trace(self, trace: Trace) -> Trace:
+        """Filter a whole trace (stateless convenience wrapper)."""
+        self.reset()
+        filtered = np.array(
+            [self.update(t, p) for t, p in zip(trace.times, trace.positions)]
+        )
+        self.reset()
+        return trace.with_positions(filtered)

@@ -1,0 +1,107 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.experiments.scenarios import clear_scenario_cache
+from repro.roadmap.io import load_roadmap
+from repro.traces.io import load_trace_csv
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_scenario_cache()
+    yield
+    clear_scenario_cache()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["explode"])
+
+    def test_figure_requires_valid_number(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["figure", "11"])
+
+    def test_simulate_requires_protocol(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["simulate", "--scenario", "city"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert cli.main(["table1", "--scale", "0.04"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "walking person" in out
+
+    def test_table1_json(self, capsys):
+        assert cli.main(["--json", "table1", "--scale", "0.04"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4
+
+    def test_simulate(self, capsys):
+        assert cli.main(
+            [
+                "simulate", "--scenario", "walking", "--protocol", "linear",
+                "--accuracy", "100", "--scale", "0.1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "updates_per_hour" in out or "updates" in out
+
+    def test_simulate_json(self, capsys):
+        assert cli.main(
+            [
+                "--json", "simulate", "--scenario", "walking", "--protocol", "map",
+                "--accuracy", "150", "--scale", "0.1",
+            ]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["us_m"] == 150.0
+
+    def test_figure(self, capsys):
+        assert cli.main(["figure", "10", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "updates/h" in out
+
+    def test_ablation_speedlimit(self, capsys):
+        assert cli.main(
+            ["ablation", "speedlimit", "--scenario", "walking", "--scale", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speed_limit_factor" in out
+
+    def test_generate_map(self, tmp_path, capsys):
+        out_path = tmp_path / "map.json"
+        assert cli.main(["generate-map", "city", "--out", str(out_path)]) == 0
+        roadmap = load_roadmap(out_path)
+        assert roadmap.num_links() > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.csv"
+        assert cli.main(
+            ["generate-trace", "--scenario", "walking", "--out", str(out_path), "--scale", "0.1"]
+        ) == 0
+        trace = load_trace_csv(out_path)
+        assert len(trace) > 100
+
+    def test_visualize(self, capsys):
+        assert cli.main(
+            [
+                "visualize", "--scenario", "walking", "--protocol", "linear",
+                "--accuracy", "100", "--scale", "0.1", "--width", "60", "--height", "15",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "updates over" in out
+        assert "S" in out and "E" in out

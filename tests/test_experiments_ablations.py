@@ -1,0 +1,91 @@
+"""Unit tests for repro.experiments.ablations (run at tiny scale)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.scenarios import clear_scenario_cache
+from repro.mobility.scenarios import ScenarioName
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_scenario_cache()
+    yield
+    clear_scenario_cache()
+
+
+SCALE = 0.05
+
+
+class TestMatchingToleranceAblation:
+    def test_rows_and_keys(self):
+        rows = ablations.matching_tolerance_ablation(
+            ScenarioName.FREEWAY, tolerances=(10.0, 30.0), accuracy=100.0, scale=SCALE
+        )
+        assert len(rows) == 2
+        assert {"um [m]", "updates_per_hour", "match_accuracy", "off_map_events"} <= set(rows[0])
+
+    def test_reasonable_tolerance_matches_well(self):
+        rows = ablations.matching_tolerance_ablation(
+            ScenarioName.FREEWAY, tolerances=(30.0,), accuracy=100.0, scale=SCALE
+        )
+        assert rows[0]["match_accuracy"] > 0.85
+
+
+class TestEstimationWindowAblation:
+    def test_rows(self):
+        rows = ablations.estimation_window_ablation(
+            ScenarioName.WALKING, windows=(2, 8), accuracy=80.0, scale=0.1
+        )
+        assert [row["window"] for row in rows] == [2.0, 8.0]
+        assert all(row["updates_per_hour"] >= 0 for row in rows)
+
+
+class TestTurnPolicyAblation:
+    def test_policies_present_and_known_route_best(self):
+        rows = ablations.turn_policy_ablation(
+            ScenarioName.CITY, accuracy=100.0, scale=0.07
+        )
+        policies = {row["policy"] for row in rows}
+        assert policies == {"smallest angle", "main road", "turn probabilities", "known route"}
+        rates = {row["policy"]: row["updates_per_hour"] for row in rows}
+        assert rates["known route"] <= rates["smallest angle"]
+
+
+class TestAdaptiveComparison:
+    def test_strategies_present(self):
+        rows = ablations.adaptive_strategy_comparison(
+            ScenarioName.FREEWAY, threshold=100.0, scale=SCALE
+        )
+        strategies = {row["strategy"] for row in rows}
+        assert {"linear dr", "sdr", "adr", "dtdr", "higher-order dr"} == strategies
+        rates = {row["strategy"]: row["updates_per_hour"] for row in rows}
+        assert rates["sdr"] == rates["linear dr"]
+
+
+class TestSpeedLimitAblation:
+    def test_rows_include_paper_baseline(self):
+        rows = ablations.speed_limit_prediction_ablation(
+            ScenarioName.CITY, factors=(None, 1.0), accuracy=100.0, scale=0.07
+        )
+        labels = [row["speed_limit_factor"] for row in rows]
+        assert labels[0] == "none (paper)"
+        assert all(row["max_error_m"] <= 100.0 + 60.0 for row in rows)
+
+
+class TestMessageLossRobustness:
+    def test_rows_and_degradation(self):
+        rows = ablations.message_loss_robustness(
+            ScenarioName.FREEWAY,
+            loss_probabilities=(0.0, 0.2),
+            accuracy=100.0,
+            scale=SCALE,
+        )
+        assert len(rows) == 4  # 2 loss levels x 2 protocols
+        linear_clean = next(
+            r for r in rows if r["protocol"] == "linear dr" and r["loss"] == 0.0
+        )
+        linear_lossy = next(
+            r for r in rows if r["protocol"] == "linear dr" and r["loss"] == 0.2
+        )
+        assert linear_lossy["max_error_m"] >= linear_clean["max_error_m"]

@@ -1,0 +1,83 @@
+"""Unit tests for repro.experiments.visualize."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.visualize import (
+    AsciiCanvas,
+    render_route_updates,
+    render_update_summary,
+)
+from repro.geo.bbox import BoundingBox
+from repro.traces.trace import Trace
+
+
+@pytest.fixture()
+def canvas():
+    return AsciiCanvas(bounds=BoundingBox(0.0, 0.0, 100.0, 100.0), width=20, height=10)
+
+
+class TestAsciiCanvas:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(bounds=BoundingBox(0, 0, 1, 1), width=1, height=10)
+
+    def test_degenerate_bounds_expanded(self):
+        canvas = AsciiCanvas(bounds=BoundingBox(0.0, 0.0, 0.0, 0.0), width=10, height=5)
+        canvas.plot_point((0.0, 0.0), "x")
+        assert "x" in canvas.render()
+
+    def test_plot_point_inside(self, canvas):
+        canvas.plot_point((50.0, 50.0), "x")
+        assert "x" in canvas.render()
+
+    def test_plot_point_outside_ignored(self, canvas):
+        canvas.plot_point((500.0, 500.0), "x")
+        assert "x" not in canvas.render()
+
+    def test_overwrite_false_preserves_existing(self, canvas):
+        canvas.plot_point((50.0, 50.0), "A")
+        canvas.plot_point((50.0, 50.0), "B", overwrite=False)
+        assert "A" in canvas.render()
+        assert "B" not in canvas.render()
+
+    def test_polyline_is_connected(self, canvas):
+        canvas.plot_polyline([(0.0, 0.0), (100.0, 0.0)], ".")
+        bottom_row = canvas.render().splitlines()[-2]
+        assert bottom_row.count(".") >= 15
+
+    def test_render_frame(self, canvas):
+        lines = canvas.render().splitlines()
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert len(lines) == 10 + 2
+        assert all(len(line) == 22 for line in lines)
+
+
+class TestRenderRouteUpdates:
+    @pytest.fixture()
+    def simple_trace(self):
+        times = np.arange(0.0, 50.0)
+        positions = np.column_stack((times * 20.0, np.zeros_like(times)))
+        return Trace(times, positions)
+
+    def test_contains_markers(self, straight_map, simple_trace):
+        art = render_route_updates(
+            straight_map, simple_trace, [(200.0, 0.0), (600.0, 0.0)], width=60, height=12
+        )
+        assert "S" in art
+        assert "E" in art
+        assert "1" in art and "2" in art
+
+    def test_works_without_roadmap(self, simple_trace):
+        art = render_route_updates(None, simple_trace, [], width=40, height=8)
+        assert "S" in art and "E" in art
+
+    def test_many_updates_use_star(self, simple_trace):
+        updates = [(float(x), 0.0) for x in range(0, 980, 70)]
+        art = render_route_updates(None, simple_trace, updates, width=80, height=10)
+        assert "*" in art
+
+    def test_summary_line(self, simple_trace):
+        text = render_update_summary(simple_trace, [(0.0, 0.0)], "linear")
+        assert "linear" in text
+        assert "1 updates" in text

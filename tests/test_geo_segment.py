@@ -1,0 +1,97 @@
+"""Unit tests for repro.geo.segment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.segment import Segment
+
+
+@pytest.fixture()
+def horizontal():
+    return Segment((0.0, 0.0), (100.0, 0.0))
+
+
+class TestBasicProperties:
+    def test_length(self, horizontal):
+        assert horizontal.length == pytest.approx(100.0)
+
+    def test_direction(self, horizontal):
+        assert horizontal.direction.tolist() == [1.0, 0.0]
+
+    def test_bearing_east(self, horizontal):
+        assert horizontal.bearing == pytest.approx(math.pi / 2)
+
+    def test_midpoint(self, horizontal):
+        assert horizontal.midpoint.tolist() == [50.0, 0.0]
+
+    def test_reversed(self, horizontal):
+        rev = horizontal.reversed()
+        assert rev.start.tolist() == [100.0, 0.0]
+        assert rev.end.tolist() == [0.0, 0.0]
+        assert rev.length == pytest.approx(horizontal.length)
+
+    def test_degenerate_segment_direction_is_zero(self):
+        seg = Segment((5.0, 5.0), (5.0, 5.0))
+        assert seg.length == 0.0
+        assert seg.direction.tolist() == [0.0, 0.0]
+
+    def test_bounds(self):
+        seg = Segment((3.0, 8.0), (-2.0, 1.0))
+        assert seg.bounds() == (-2.0, 1.0, 3.0, 8.0)
+
+
+class TestPointAt:
+    def test_start_and_end(self, horizontal):
+        assert horizontal.point_at(0.0).tolist() == [0.0, 0.0]
+        assert horizontal.point_at(100.0).tolist() == [100.0, 0.0]
+
+    def test_interior(self, horizontal):
+        assert horizontal.point_at(25.0).tolist() == [25.0, 0.0]
+
+    def test_clamped_below(self, horizontal):
+        assert horizontal.point_at(-10.0).tolist() == [0.0, 0.0]
+
+    def test_clamped_above(self, horizontal):
+        assert horizontal.point_at(150.0).tolist() == [100.0, 0.0]
+
+
+class TestProjection:
+    def test_projects_perpendicularly(self, horizontal):
+        proj = horizontal.project((30.0, 40.0))
+        assert proj.tolist() == [30.0, 0.0]
+
+    def test_projection_clamped_to_start(self, horizontal):
+        assert horizontal.project((-50.0, 10.0)).tolist() == [0.0, 0.0]
+
+    def test_projection_clamped_to_end(self, horizontal):
+        assert horizontal.project((200.0, 10.0)).tolist() == [100.0, 0.0]
+
+    def test_distance_to_point_on_segment_is_zero(self, horizontal):
+        assert horizontal.distance_to((42.0, 0.0)) == pytest.approx(0.0)
+
+    def test_distance_perpendicular(self, horizontal):
+        assert horizontal.distance_to((50.0, 30.0)) == pytest.approx(30.0)
+
+    def test_distance_beyond_end_uses_endpoint(self, horizontal):
+        assert horizontal.distance_to((103.0, 4.0)) == pytest.approx(5.0)
+
+    def test_project_offset(self, horizontal):
+        assert horizontal.project_offset((64.0, 10.0)) == pytest.approx(64.0)
+
+    def test_project_parameter_degenerate(self):
+        seg = Segment((1.0, 1.0), (1.0, 1.0))
+        assert seg.project_parameter((5.0, 5.0)) == 0.0
+        assert seg.distance_to((4.0, 5.0)) == pytest.approx(5.0)
+
+
+class TestSideOf:
+    def test_left(self, horizontal):
+        assert horizontal.side_of((50.0, 1.0)) == 1
+
+    def test_right(self, horizontal):
+        assert horizontal.side_of((50.0, -1.0)) == -1
+
+    def test_collinear(self, horizontal):
+        assert horizontal.side_of((150.0, 0.0)) == 0

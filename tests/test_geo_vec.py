@@ -1,0 +1,114 @@
+"""Unit tests for repro.geo.vec."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.vec import (
+    as_vec,
+    cross,
+    distance,
+    distance_sq,
+    dot,
+    lerp,
+    norm,
+    normalize,
+    perpendicular,
+    rotate,
+)
+
+
+class TestAsVec:
+    def test_accepts_tuple(self):
+        v = as_vec((1.0, 2.0))
+        assert isinstance(v, np.ndarray)
+        assert v.dtype == float
+        assert v.tolist() == [1.0, 2.0]
+
+    def test_accepts_list_and_array(self):
+        assert as_vec([3, 4]).tolist() == [3.0, 4.0]
+        assert as_vec(np.array([3.0, 4.0])).tolist() == [3.0, 4.0]
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            as_vec((1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            as_vec([[1.0, 2.0]])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            as_vec((float("nan"), 0.0))
+        with pytest.raises(ValueError):
+            as_vec((float("inf"), 0.0))
+
+
+class TestDistance:
+    def test_pythagorean(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_squared_matches_distance(self):
+        assert distance_sq((1, 1), (4, 5)) == pytest.approx(distance((1, 1), (4, 5)) ** 2)
+
+    def test_zero_distance(self):
+        assert distance((2, 3), (2, 3)) == 0.0
+
+    def test_symmetry(self):
+        assert distance((1, 2), (5, -3)) == pytest.approx(distance((5, -3), (1, 2)))
+
+
+class TestNormAndNormalize:
+    def test_norm(self):
+        assert norm((3, 4)) == pytest.approx(5.0)
+
+    def test_normalize_unit_length(self):
+        n = normalize((10.0, 0.0))
+        assert n.tolist() == [1.0, 0.0]
+
+    def test_normalize_preserves_direction(self):
+        n = normalize((3.0, 4.0))
+        assert n[0] == pytest.approx(0.6)
+        assert n[1] == pytest.approx(0.8)
+
+    def test_normalize_zero_vector_returns_zero(self):
+        assert normalize((0.0, 0.0)).tolist() == [0.0, 0.0]
+
+
+class TestProducts:
+    def test_dot(self):
+        assert dot((1, 2), (3, 4)) == pytest.approx(11.0)
+
+    def test_dot_orthogonal(self):
+        assert dot((1, 0), (0, 5)) == 0.0
+
+    def test_cross_right_handed(self):
+        assert cross((1, 0), (0, 1)) == pytest.approx(1.0)
+        assert cross((0, 1), (1, 0)) == pytest.approx(-1.0)
+
+    def test_cross_parallel_is_zero(self):
+        assert cross((2, 2), (4, 4)) == pytest.approx(0.0)
+
+
+class TestLerpRotatePerpendicular:
+    def test_lerp_endpoints(self):
+        assert lerp((0, 0), (10, 20), 0.0).tolist() == [0.0, 0.0]
+        assert lerp((0, 0), (10, 20), 1.0).tolist() == [10.0, 20.0]
+
+    def test_lerp_midpoint(self):
+        assert lerp((0, 0), (10, 20), 0.5).tolist() == [5.0, 10.0]
+
+    def test_rotate_quarter_turn(self):
+        r = rotate((1.0, 0.0), math.pi / 2)
+        assert r[0] == pytest.approx(0.0, abs=1e-12)
+        assert r[1] == pytest.approx(1.0)
+
+    def test_rotate_preserves_length(self):
+        r = rotate((3.0, 4.0), 1.234)
+        assert norm(r) == pytest.approx(5.0)
+
+    def test_perpendicular_is_orthogonal(self):
+        v = (3.0, 4.0)
+        assert dot(v, perpendicular(v)) == pytest.approx(0.0)
+
+    def test_perpendicular_is_left_turn(self):
+        assert perpendicular((1.0, 0.0)).tolist() == [0.0, 1.0]

@@ -1,0 +1,157 @@
+"""Unit tests for repro.mapmatching.matcher."""
+
+import numpy as np
+import pytest
+
+from repro.mapmatching.matcher import (
+    IncrementalMapMatcher,
+    MatcherConfig,
+    MatchStatus,
+)
+
+
+class TestMatcherConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatcherConfig(tolerance=0.0)
+        with pytest.raises(ValueError):
+            MatcherConfig(end_proximity=-1.0)
+        with pytest.raises(ValueError):
+            MatcherConfig(backtrack_depth=0)
+        with pytest.raises(ValueError):
+            MatcherConfig(reacquire_interval=0)
+
+
+class TestAcquisition:
+    def test_initial_match_on_nearest_link(self, straight_map):
+        matcher = IncrementalMapMatcher(straight_map, MatcherConfig(tolerance=30.0))
+        result = matcher.update((250.0, 10.0))
+        assert result.status is MatchStatus.NEW_LINK
+        assert result.is_matched
+        assert result.distance == pytest.approx(10.0)
+        # The corrected position lies on the road (y == 0).
+        assert result.position[1] == pytest.approx(0.0)
+
+    def test_no_link_within_tolerance(self, straight_map):
+        matcher = IncrementalMapMatcher(straight_map, MatcherConfig(tolerance=30.0))
+        result = matcher.update((250.0, 500.0))
+        assert result.status is MatchStatus.OFF_MAP
+        assert not result.is_matched
+        assert result.link_id is None
+
+    def test_heading_selects_correct_carriageway(self, straight_map):
+        matcher = IncrementalMapMatcher(straight_map, MatcherConfig(tolerance=30.0))
+        eastbound = matcher.update((250.0, 2.0), heading=(1.0, 0.0))
+        link = straight_map.link(eastbound.link_id)
+        assert link.direction_at(eastbound.offset)[0] > 0
+        matcher.reset()
+        westbound = matcher.update((250.0, 2.0), heading=(-1.0, 0.0))
+        link = straight_map.link(westbound.link_id)
+        assert link.direction_at(westbound.offset)[0] < 0
+
+    def test_reacquisition_interval(self, straight_map):
+        config = MatcherConfig(tolerance=30.0, reacquire_interval=3)
+        matcher = IncrementalMapMatcher(straight_map, config)
+        far = (0.0, 10_000.0)
+        assert matcher.update(far).status is MatchStatus.OFF_MAP  # queries, fails
+        # The next two sightings do not even query the index.
+        assert matcher.update(far).status is MatchStatus.OFF_MAP
+        assert matcher.update(far).status is MatchStatus.OFF_MAP
+        # Moving back next to the road: re-acquired on a query tick.
+        results = [matcher.update((100.0, 5.0)) for _ in range(4)]
+        assert any(r.is_matched for r in results)
+        assert matcher.statistics()["reacquisitions"] >= 1
+
+
+class TestTracking:
+    def test_stays_on_link_while_matched(self, straight_map):
+        matcher = IncrementalMapMatcher(straight_map, MatcherConfig(tolerance=30.0))
+        first = matcher.update((20.0, 3.0), heading=(1.0, 0.0))
+        second = matcher.update((60.0, -4.0), heading=(1.0, 0.0))
+        assert second.status is MatchStatus.MATCHED
+        assert second.link_id == first.link_id
+        assert second.offset > first.offset
+
+    def test_forward_tracking_at_link_end(self, straight_map):
+        matcher = IncrementalMapMatcher(straight_map, MatcherConfig(tolerance=30.0))
+        # The straight road has links of 500 m; walk past the first link end.
+        # The transition is delayed (paper Sec. 3): right after the end the
+        # position still matches the old link within the tolerance, so the
+        # switch only happens once the object is clearly beyond it.
+        first = matcher.update((450.0, 2.0), heading=(1.0, 0.0))
+        just_past = matcher.update((520.0, 2.0), heading=(1.0, 0.0))
+        assert just_past.is_matched
+        assert just_past.link_id == first.link_id  # still the delayed old link
+        beyond = matcher.update((580.0, 2.0), heading=(1.0, 0.0))
+        assert beyond.is_matched
+        assert beyond.link_id != first.link_id
+        stats = matcher.statistics()
+        assert stats["forward_tracks"] >= 1
+
+    def test_forward_tracking_chooses_turn_arm(self, t_map):
+        matcher = IncrementalMapMatcher(t_map, MatcherConfig(tolerance=30.0))
+        # Approach the junction from the west, then turn north.
+        matcher.update((-200.0, 1.0), heading=(1.0, 0.0))
+        matcher.update((-50.0, 1.0), heading=(1.0, 0.0))
+        result = matcher.update((2.0, 80.0), heading=(0.0, 1.0))
+        assert result.is_matched
+        link = t_map.link(result.link_id)
+        # The matched link leads towards the north arm.
+        assert link.end_position[1] > 100.0 or link.start_position[1] > 100.0
+
+    def test_backward_tracking_recovers_wrong_choice(self, t_map):
+        matcher = IncrementalMapMatcher(
+            t_map, MatcherConfig(tolerance=25.0, end_proximity=40.0)
+        )
+        # Approach the junction and (deliberately) continue east first.
+        matcher.update((-300.0, 1.0), heading=(1.0, 0.0))
+        matcher.update((-100.0, 1.0), heading=(1.0, 0.0))
+        east = matcher.update((60.0, 1.0), heading=(1.0, 0.0))
+        assert east.is_matched
+        # The object actually went north: far from the east arm, within reach
+        # of the north arm. Backward tracking should recover it.
+        north = matcher.update((1.0, 120.0), heading=(0.0, 1.0))
+        assert north.is_matched
+        link = t_map.link(north.link_id)
+        assert abs(link.start_position[0]) < 1e-6 or abs(link.end_position[0]) < 1e-6
+        assert matcher.statistics()["backward_tracks"] + matcher.statistics()["forward_tracks"] >= 1
+
+    def test_off_map_after_leaving_network(self, straight_map):
+        matcher = IncrementalMapMatcher(straight_map, MatcherConfig(tolerance=30.0))
+        matcher.update((100.0, 0.0), heading=(1.0, 0.0))
+        result = matcher.update((100.0, 400.0), heading=(0.0, 1.0))
+        assert result.status is MatchStatus.OFF_MAP
+        assert matcher.current_link is None
+        assert matcher.statistics()["off_map_events"] >= 1
+
+    def test_direction_flip_on_u_turn(self, straight_map):
+        matcher = IncrementalMapMatcher(straight_map, MatcherConfig(tolerance=30.0))
+        first = matcher.update((300.0, 2.0), heading=(1.0, 0.0))
+        # The object turns around and drives back west along the same road.
+        second = matcher.update((280.0, 2.0), heading=(-1.0, 0.0))
+        assert second.is_matched
+        assert second.link_id != first.link_id
+        assert matcher.statistics()["direction_flips"] >= 1
+
+    def test_reset_clears_state(self, straight_map):
+        matcher = IncrementalMapMatcher(straight_map)
+        matcher.update((100.0, 0.0))
+        assert matcher.current_link is not None
+        matcher.reset()
+        assert matcher.current_link is None
+
+
+class TestCorrectedPosition:
+    def test_matched_position_is_projection(self, curved_map):
+        matcher = IncrementalMapMatcher(curved_map, MatcherConfig(tolerance=40.0))
+        result = matcher.update((500.0, 20.0), heading=(1.0, 0.0))
+        assert result.is_matched
+        np.testing.assert_allclose(result.position, [500.0, 0.0], atol=1e-6)
+        assert result.offset == pytest.approx(500.0)
+
+    def test_offset_within_link_length(self, curved_map):
+        matcher = IncrementalMapMatcher(curved_map, MatcherConfig(tolerance=40.0))
+        result = matcher.update((980.0, -10.0), heading=(1.0, 0.0))
+        assert result.is_matched
+        link = curved_map.link(result.link_id)
+        assert 0.0 <= result.offset <= link.length

@@ -1,0 +1,82 @@
+"""Unit tests for repro.mapmatching.offline."""
+
+import numpy as np
+import pytest
+
+from repro.mapmatching.matcher import MatcherConfig
+from repro.mapmatching.offline import (
+    match_trace,
+    matched_link_sequence,
+    matching_accuracy,
+)
+from repro.traces.trace import Trace
+
+
+class TestMatchTrace:
+    def test_matches_straight_drive(self, straight_map, straight_trace):
+        points = match_trace(straight_trace, straight_map, MatcherConfig(tolerance=30.0))
+        assert len(points) == len(straight_trace)
+        matched = [p for p in points if p.link_id is not None]
+        assert len(matched) >= len(points) - 2
+        for point in matched:
+            assert point.distance is not None and point.distance <= 30.0
+            assert point.matched_position is not None
+
+    def test_off_map_trace(self, straight_map):
+        times = np.arange(0.0, 10.0)
+        positions = np.column_stack((times * 10.0, np.full_like(times, 5000.0)))
+        points = match_trace(Trace(times, positions), straight_map)
+        assert all(p.link_id is None for p in points)
+
+    def test_matched_positions_lie_on_links(self, straight_map, straight_trace):
+        points = match_trace(straight_trace, straight_map)
+        for point in points:
+            if point.matched_position is not None:
+                assert abs(point.matched_position[1]) < 1e-6
+
+
+class TestLinkSequence:
+    def test_sequence_collapses_duplicates(self, straight_map, straight_trace):
+        points = match_trace(straight_trace, straight_map)
+        sequence = matched_link_sequence(points)
+        assert len(sequence) < len(points)
+        for a, b in zip(sequence, sequence[1:]):
+            assert a != b
+
+    def test_sequence_skips_off_map(self, straight_map):
+        times = np.arange(0.0, 20.0)
+        xs = times * 30.0
+        ys = np.where(times < 10, 0.0, 5000.0)  # second half is off the map
+        points = match_trace(Trace(times, np.column_stack((xs, ys))), straight_map)
+        sequence = matched_link_sequence(points)
+        assert len(sequence) >= 1
+
+
+class TestMatchingAccuracy:
+    def test_perfect_accuracy_on_clean_trace(self, tiny_freeway_scenario):
+        scenario = tiny_freeway_scenario
+        points = match_trace(
+            scenario.true_trace,
+            scenario.roadmap,
+            MatcherConfig(tolerance=scenario.matching_tolerance),
+        )
+        accuracy = matching_accuracy(points, scenario.journey.link_ids, scenario.roadmap)
+        assert accuracy > 0.95
+
+    def test_noisy_trace_still_accurate(self, tiny_freeway_scenario):
+        scenario = tiny_freeway_scenario
+        points = match_trace(
+            scenario.sensor_trace,
+            scenario.roadmap,
+            MatcherConfig(tolerance=scenario.matching_tolerance),
+        )
+        accuracy = matching_accuracy(points, scenario.journey.link_ids, scenario.roadmap)
+        assert accuracy > 0.9
+
+    def test_length_mismatch_raises(self, straight_map, straight_trace):
+        points = match_trace(straight_trace, straight_map)
+        with pytest.raises(ValueError):
+            matching_accuracy(points, [1, 2, 3], straight_map)
+
+    def test_empty_points(self, straight_map):
+        assert matching_accuracy([], [], straight_map) == 0.0

@@ -1,0 +1,94 @@
+"""Unit tests for repro.mobility.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.scenarios import (
+    ScenarioName,
+    build_scenario,
+    corridor_route,
+)
+from repro.roadmap.elements import RoadClass
+from repro.roadmap.generators import freeway_map
+
+
+class TestCorridorRoute:
+    def test_follows_motorway(self):
+        roadmap = freeway_map(length_km=30.0, seed=0)
+        route = corridor_route(roadmap, RoadClass.MOTORWAY)
+        assert all(l.road_class == RoadClass.MOTORWAY for l in route.links)
+        assert route.length >= 25_000.0
+
+    def test_no_corridor_raises(self, straight_map):
+        with pytest.raises(ValueError):
+            corridor_route(straight_map, RoadClass.MOTORWAY)
+
+
+class TestScenarioConstruction:
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_scenario(ScenarioName.FREEWAY, scale=0.0)
+        with pytest.raises(ValueError):
+            build_scenario(ScenarioName.FREEWAY, scale=1.5)
+
+    def test_build_by_string_name(self):
+        scenario = build_scenario("freeway", scale=0.03)
+        assert scenario.name is ScenarioName.FREEWAY
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            build_scenario("hovercraft", scale=0.1)
+
+
+class TestScenarioProperties:
+    def test_freeway_characteristics(self, tiny_freeway_scenario):
+        summary = tiny_freeway_scenario.summary()
+        # Intensive quantity: the average speed should be near the paper's 103 km/h.
+        assert 85.0 <= summary["average_speed_kmh"] <= 120.0
+        assert tiny_freeway_scenario.estimation_window == 2
+
+    def test_city_characteristics(self, tiny_city_scenario):
+        summary = tiny_city_scenario.summary()
+        assert 20.0 <= summary["average_speed_kmh"] <= 50.0
+        assert tiny_city_scenario.estimation_window == 4
+
+    def test_interurban_characteristics(self, tiny_interurban_scenario):
+        summary = tiny_interurban_scenario.summary()
+        assert 45.0 <= summary["average_speed_kmh"] <= 80.0
+
+    def test_walking_characteristics(self, tiny_walking_scenario):
+        summary = tiny_walking_scenario.summary()
+        assert 2.5 <= summary["average_speed_kmh"] <= 6.5
+        assert tiny_walking_scenario.estimation_window == 8
+        assert max(tiny_walking_scenario.us_values) <= 250.0
+
+    def test_sensor_trace_alignment(self, tiny_freeway_scenario):
+        scenario = tiny_freeway_scenario
+        assert len(scenario.sensor_trace) == len(scenario.true_trace)
+        np.testing.assert_allclose(scenario.sensor_trace.times, scenario.true_trace.times)
+
+    def test_sensor_noise_magnitude(self, tiny_freeway_scenario):
+        scenario = tiny_freeway_scenario
+        errors = scenario.sensor_trace.positions - scenario.true_trace.positions
+        magnitudes = np.hypot(errors[:, 0], errors[:, 1])
+        assert magnitudes.mean() < 4 * scenario.sensor_sigma
+        assert magnitudes.max() < 10 * scenario.sensor_sigma
+
+    def test_truth_follows_route(self, tiny_freeway_scenario):
+        scenario = tiny_freeway_scenario
+        # Every 50th ground-truth point must lie on the route geometry.
+        for position in scenario.true_trace.positions[::50]:
+            _, _, dist = scenario.route.project(position)
+            assert dist < 1.0
+
+    def test_ground_truth_link_ids_exist(self, tiny_city_scenario):
+        scenario = tiny_city_scenario
+        assert len(scenario.journey.link_ids) == len(scenario.true_trace)
+        assert all(scenario.roadmap.has_link(lid) for lid in scenario.journey.link_ids)
+
+    def test_sample_interval_is_one_second(self, tiny_walking_scenario):
+        assert tiny_walking_scenario.true_trace.sampling_interval == pytest.approx(1.0)
+
+    def test_us_sweep_for_cars(self, tiny_city_scenario):
+        assert min(tiny_city_scenario.us_values) == 20.0
+        assert max(tiny_city_scenario.us_values) == 500.0

@@ -1,0 +1,75 @@
+"""Property-based tests for the spatial indexes (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.segment import Segment
+from repro.spatial.grid import GridIndex
+from repro.spatial.index import IndexedItem, brute_force_nearest
+from repro.spatial.rtree import STRtree
+
+coordinate = st.floats(min_value=-10_000.0, max_value=10_000.0, allow_nan=False)
+point = st.tuples(coordinate, coordinate)
+
+
+def build_items(segments):
+    items = []
+    for i, (a, b) in enumerate(segments):
+        seg = Segment(a, b)
+        items.append(
+            IndexedItem(key=i, bounds=BoundingBox(*seg.bounds()), distance=seg.distance_to)
+        )
+    return items
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    segments=st.lists(st.tuples(point, point), min_size=1, max_size=30),
+    query=point,
+)
+def test_grid_nearest_matches_brute_force(segments, query):
+    items = build_items(segments)
+    index = GridIndex(cell_size=500.0, items=items)
+    expected = brute_force_nearest(items, query)
+    got = index.nearest(query)
+    assert got is not None and expected is not None
+    assert np.isclose(got[1], expected[1], atol=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    segments=st.lists(st.tuples(point, point), min_size=1, max_size=30),
+    query=point,
+)
+def test_rtree_nearest_matches_brute_force(segments, query):
+    items = build_items(segments)
+    tree = STRtree(items, node_capacity=4)
+    expected = brute_force_nearest(items, query)
+    got = tree.nearest(query)
+    assert got is not None and expected is not None
+    assert np.isclose(got[1], expected[1], atol=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    segments=st.lists(st.tuples(point, point), min_size=1, max_size=25),
+    query=point,
+    radius=st.floats(min_value=1.0, max_value=5_000.0),
+)
+def test_query_radius_is_exact(segments, query, radius):
+    items = build_items(segments)
+    index = GridIndex(cell_size=700.0, items=items)
+    hits = {item.key for item in index.query_radius(query, radius)}
+    expected = {item.key for item in items if item.distance(np.asarray(query)) <= radius}
+    assert hits == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(segments=st.lists(st.tuples(point, point), min_size=1, max_size=25))
+def test_grid_and_rtree_agree_on_bbox_queries(segments):
+    items = build_items(segments)
+    grid = GridIndex(cell_size=800.0, items=items)
+    tree = STRtree(items, node_capacity=4)
+    box = BoundingBox(-2_000.0, -2_000.0, 2_000.0, 2_000.0)
+    assert {i.key for i in grid.query_bbox(box)} == {i.key for i in tree.query_bbox(box)}

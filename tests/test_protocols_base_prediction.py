@@ -1,0 +1,288 @@
+"""Unit tests for repro.protocols.base and repro.protocols.prediction."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.base import ObjectState, UpdateMessage, UpdateReason
+from repro.protocols.linear import LinearPredictionProtocol
+from repro.protocols.prediction import (
+    LinearPrediction,
+    MainRoadTurnPolicy,
+    MapPrediction,
+    ProbabilisticTurnPolicy,
+    QuadraticPrediction,
+    RoutePrediction,
+    SmallestAngleTurnPolicy,
+    StaticPrediction,
+)
+from repro.roadmap.elements import RoadClass
+from repro.roadmap.generators import freeway_map, t_junction_map
+from repro.roadmap.probability import TurnProbabilityTable
+from repro.roadmap.routing import RoutePlanner
+from repro.mobility.scenarios import corridor_route
+
+
+def make_state(time=0.0, position=(0.0, 0.0), velocity=(10.0, 0.0), **kwargs):
+    speed = float(np.hypot(*velocity))
+    return ObjectState(time=time, position=position, velocity=velocity, speed=speed, **kwargs)
+
+
+class TestObjectState:
+    def test_coercion_and_direction(self):
+        state = make_state(velocity=(3.0, 4.0))
+        assert state.speed == pytest.approx(5.0)
+        np.testing.assert_allclose(state.direction, [0.6, 0.8])
+
+    def test_zero_speed_direction(self):
+        state = ObjectState(time=0.0, position=(0, 0), velocity=(0, 0), speed=0.0)
+        assert state.direction.tolist() == [0.0, 0.0]
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectState(time=0.0, position=(0, 0), velocity=(0, 0), speed=-1.0)
+
+    def test_with_link(self):
+        state = make_state()
+        linked = state.with_link(7, 123.0)
+        assert linked.link_id == 7
+        assert linked.link_offset == 123.0
+        assert state.link_id is None  # original unchanged
+
+
+class TestUpdateMessage:
+    def test_size_without_link(self):
+        msg = UpdateMessage(sequence=0, state=make_state(), reason=UpdateReason.INITIAL)
+        assert msg.size_bytes == 32
+
+    def test_size_with_link(self):
+        msg = UpdateMessage(
+            sequence=0, state=make_state(link_id=3, link_offset=5.0), reason=UpdateReason.INITIAL
+        )
+        assert msg.size_bytes == 36
+
+
+class TestBasicPredictions:
+    def test_static(self):
+        state = make_state(position=(5.0, 6.0))
+        np.testing.assert_allclose(StaticPrediction().predict(state, 100.0), [5.0, 6.0])
+
+    def test_linear(self):
+        state = make_state(time=10.0, position=(0.0, 0.0), velocity=(10.0, -5.0))
+        np.testing.assert_allclose(LinearPrediction().predict(state, 14.0), [40.0, -20.0])
+
+    def test_quadratic_without_acceleration_is_linear(self):
+        state = make_state(time=0.0, velocity=(10.0, 0.0))
+        np.testing.assert_allclose(QuadraticPrediction().predict(state, 2.0), [20.0, 0.0])
+
+    def test_quadratic_with_acceleration(self):
+        state = make_state(time=0.0, velocity=(10.0, 0.0), acceleration=(2.0, 0.0))
+        np.testing.assert_allclose(QuadraticPrediction().predict(state, 3.0), [39.0, 0.0])
+
+    def test_quadratic_horizon_freezes_acceleration(self):
+        state = make_state(time=0.0, velocity=(10.0, 0.0), acceleration=(2.0, 0.0))
+        pred = QuadraticPrediction(max_horizon=5.0)
+        at_horizon = pred.predict(state, 5.0)
+        far_beyond = pred.predict(state, 50.0)
+        np.testing.assert_allclose(at_horizon, far_beyond)
+
+
+class TestTurnPolicies:
+    @pytest.fixture()
+    def junction(self):
+        roadmap = t_junction_map(arm_length_m=500.0)
+        center, _ = roadmap.nearest_intersection((0.0, 0.0))
+        west, _ = roadmap.nearest_intersection((-500.0, 0.0))
+        incoming = next(
+            l for l in roadmap.outgoing_links(west.id) if l.to_node == center.id
+        )
+        return roadmap, incoming
+
+    def test_smallest_angle_goes_straight(self, junction):
+        roadmap, incoming = junction
+        chosen = SmallestAngleTurnPolicy().choose(roadmap, incoming)
+        assert chosen is not None
+        # Continuing east (straight) rather than turning north.
+        assert chosen.end_position[0] > 100.0
+
+    def test_smallest_angle_dead_end_returns_none(self, junction):
+        roadmap, incoming = junction
+        east_link = SmallestAngleTurnPolicy().choose(roadmap, incoming)
+        assert SmallestAngleTurnPolicy().choose(roadmap, east_link) is None
+
+    def test_main_road_policy_prefers_higher_class(self):
+        # Build a junction where going straight is a residential street but
+        # turning right is a primary road.
+        from repro.roadmap.builder import RoadMapBuilder
+
+        builder = RoadMapBuilder()
+        west = builder.add_intersection((-500.0, 0.0)).id
+        center = builder.add_intersection((0.0, 0.0)).id
+        east = builder.add_intersection((500.0, 0.0)).id
+        south = builder.add_intersection((0.0, -500.0)).id
+        builder.add_two_way_link(west, center, road_class=RoadClass.PRIMARY)
+        builder.add_two_way_link(center, east, road_class=RoadClass.RESIDENTIAL)
+        builder.add_two_way_link(center, south, road_class=RoadClass.PRIMARY)
+        roadmap = builder.build()
+        incoming = next(
+            l for l in roadmap.outgoing_links(west) if l.to_node == center
+        )
+        straight = SmallestAngleTurnPolicy().choose(roadmap, incoming)
+        main = MainRoadTurnPolicy().choose(roadmap, incoming)
+        assert straight.to_node == east
+        assert main.to_node == south
+
+    def test_probabilistic_policy_follows_counts(self, junction):
+        roadmap, incoming = junction
+        north_link = next(
+            l for l in roadmap.successors(incoming) if l.end_position[1] > 100.0
+        )
+        table = TurnProbabilityTable(roadmap)
+        table.record_transition(incoming.id, north_link.id, 10.0)
+        chosen = ProbabilisticTurnPolicy(table).choose(roadmap, incoming)
+        assert chosen.id == north_link.id
+
+    def test_probabilistic_policy_falls_back_to_geometry(self, junction):
+        roadmap, incoming = junction
+        table = TurnProbabilityTable(roadmap)  # no observations at all
+        chosen = ProbabilisticTurnPolicy(table).choose(roadmap, incoming)
+        straight = SmallestAngleTurnPolicy().choose(roadmap, incoming)
+        assert chosen.id == straight.id
+
+
+class TestMapPrediction:
+    @pytest.fixture(scope="class")
+    def freeway(self):
+        roadmap = freeway_map(length_km=20.0, seed=0)
+        route = corridor_route(roadmap, RoadClass.MOTORWAY)
+        return roadmap, route
+
+    def test_prediction_advances_along_link(self, freeway):
+        roadmap, route = freeway
+        link = route.links[0]
+        state = make_state(velocity=(0.0, 0.0)).with_link(link.id, 0.0)
+        state = ObjectState(
+            time=0.0, position=link.point_at(0.0), velocity=link.direction_at(0.0) * 25.0,
+            speed=25.0, link_id=link.id, link_offset=0.0,
+        )
+        prediction = MapPrediction(roadmap)
+        predicted = prediction.predict(state, 10.0)
+        np.testing.assert_allclose(predicted, link.point_at(250.0), atol=1e-6)
+
+    def test_prediction_crosses_intersections(self, freeway):
+        roadmap, route = freeway
+        link = route.links[0]
+        speed = 30.0
+        state = ObjectState(
+            time=0.0, position=link.point_at(0.0), velocity=link.direction_at(0.0) * speed,
+            speed=speed, link_id=link.id, link_offset=0.0,
+        )
+        prediction = MapPrediction(roadmap)
+        horizon = (link.length + 500.0) / speed
+        predicted = prediction.predict(state, horizon)
+        # The predicted point lies on the route (the smallest-angle policy
+        # keeps following the motorway), about 500 m into the second link.
+        _, offset, dist = route.project(predicted)
+        assert dist < 1.0
+        assert offset == pytest.approx(link.length + 500.0, rel=0.01)
+
+    def test_prediction_follows_curves_better_than_linear(self, freeway):
+        roadmap, route = freeway
+        link = route.links[0]
+        speed = 30.0
+        state = ObjectState(
+            time=0.0, position=link.point_at(0.0), velocity=link.direction_at(0.0) * speed,
+            speed=speed, link_id=link.id, link_offset=0.0,
+        )
+        horizon = link.length / speed  # far enough for the road to curve
+        truth = link.point_at(link.length)
+        map_error = np.hypot(*(MapPrediction(roadmap).predict(state, horizon) - truth))
+        linear_error = np.hypot(*(LinearPrediction().predict(state, horizon) - truth))
+        assert map_error < linear_error
+
+    def test_fallback_to_linear_without_link(self, freeway):
+        roadmap, _ = freeway
+        state = make_state(velocity=(12.0, 0.0))
+        predicted = MapPrediction(roadmap).predict(state, 10.0)
+        np.testing.assert_allclose(predicted, [120.0, 0.0])
+
+    def test_dead_end_stops_at_link_end(self):
+        roadmap = t_junction_map(arm_length_m=400.0)
+        center, _ = roadmap.nearest_intersection((0.0, 0.0))
+        east, _ = roadmap.nearest_intersection((400.0, 0.0))
+        to_east = next(l for l in roadmap.outgoing_links(center.id) if l.to_node == east.id)
+        state = ObjectState(
+            time=0.0, position=to_east.point_at(0.0), velocity=(20.0, 0.0), speed=20.0,
+            link_id=to_east.id, link_offset=0.0,
+        )
+        predicted = MapPrediction(roadmap).predict(state, 1000.0)
+        np.testing.assert_allclose(predicted, to_east.point_at(to_east.length), atol=1e-6)
+
+    def test_predict_link_diagnostic(self, freeway):
+        roadmap, route = freeway
+        link = route.links[0]
+        state = ObjectState(
+            time=0.0, position=link.point_at(0.0), velocity=link.direction_at(0.0) * 20.0,
+            speed=20.0, link_id=link.id, link_offset=0.0,
+        )
+        link_id, offset = MapPrediction(roadmap).predict_link(state, 5.0)
+        assert link_id == link.id
+        assert offset == pytest.approx(100.0)
+
+    def test_predict_link_without_link(self, freeway):
+        roadmap, _ = freeway
+        state = make_state()
+        assert MapPrediction(roadmap).predict_link(state, 5.0) == (None, 0.0)
+
+
+class TestRoutePrediction:
+    def test_advances_along_route(self, straight_map):
+        planner = RoutePlanner(straight_map)
+        start, _ = straight_map.nearest_intersection((0.0, 0.0))
+        end, _ = straight_map.nearest_intersection((2000.0, 0.0))
+        route = planner.shortest_route(start.id, end.id)
+        state = make_state(time=0.0, position=(100.0, 4.0), velocity=(15.0, 0.0))
+        prediction = RoutePrediction(route)
+        predicted = prediction.predict(state, 10.0)
+        np.testing.assert_allclose(predicted, [250.0, 0.0], atol=1e-6)
+
+    def test_clamps_at_route_end(self, straight_map):
+        planner = RoutePlanner(straight_map)
+        start, _ = straight_map.nearest_intersection((0.0, 0.0))
+        end, _ = straight_map.nearest_intersection((2000.0, 0.0))
+        route = planner.shortest_route(start.id, end.id)
+        state = make_state(time=0.0, position=(1900.0, 0.0), velocity=(30.0, 0.0))
+        predicted = RoutePrediction(route).predict(state, 1000.0)
+        np.testing.assert_allclose(predicted, [2000.0, 0.0], atol=1e-6)
+
+
+class TestUpdateProtocolMachinery:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LinearPredictionProtocol(accuracy=0.0)
+        with pytest.raises(ValueError):
+            LinearPredictionProtocol(accuracy=100.0, sensor_uncertainty=-1.0)
+
+    def test_first_observation_triggers_initial_update(self):
+        protocol = LinearPredictionProtocol(accuracy=100.0)
+        message = protocol.observe(0.0, (0.0, 0.0))
+        assert message is not None
+        assert message.reason is UpdateReason.INITIAL
+        assert protocol.updates_sent == 1
+
+    def test_predicted_position_none_before_first_update(self):
+        protocol = LinearPredictionProtocol(accuracy=100.0)
+        assert protocol.predicted_position(0.0) is None
+        assert protocol.deviation(0.0, (0.0, 0.0)) == float("inf")
+
+    def test_bytes_accumulate(self):
+        protocol = LinearPredictionProtocol(accuracy=10.0)
+        protocol.observe(0.0, (0.0, 0.0))
+        protocol.observe(1.0, (100.0, 0.0))
+        assert protocol.bytes_sent >= 2 * 32
+
+    def test_reset(self):
+        protocol = LinearPredictionProtocol(accuracy=10.0)
+        protocol.observe(0.0, (0.0, 0.0))
+        protocol.reset()
+        assert protocol.updates_sent == 0
+        assert protocol.last_reported is None

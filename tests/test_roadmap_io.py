@@ -1,0 +1,61 @@
+"""Unit tests for repro.roadmap.io."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.roadmap.generators import city_grid_map, freeway_map
+from repro.roadmap.io import (
+    FORMAT_VERSION,
+    load_roadmap,
+    roadmap_from_dict,
+    roadmap_to_dict,
+    save_roadmap,
+)
+
+
+class TestDictRoundtrip:
+    def test_roundtrip_preserves_counts(self):
+        original = city_grid_map(rows=4, cols=4, seed=0)
+        rebuilt = roadmap_from_dict(roadmap_to_dict(original))
+        assert rebuilt.num_intersections() == original.num_intersections()
+        assert rebuilt.num_links() == original.num_links()
+        assert rebuilt.total_length() == pytest.approx(original.total_length())
+
+    def test_roundtrip_preserves_geometry(self):
+        original = freeway_map(length_km=15.0, seed=1)
+        rebuilt = roadmap_from_dict(roadmap_to_dict(original))
+        for link_id, link in original.links.items():
+            twin = rebuilt.link(link_id)
+            np.testing.assert_allclose(twin.geometry.points, link.geometry.points)
+            assert twin.road_class == link.road_class
+            assert twin.speed_limit == pytest.approx(link.speed_limit)
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            roadmap_from_dict({"format": "something-else", "version": FORMAT_VERSION})
+
+    def test_rejects_wrong_version(self):
+        data = roadmap_to_dict(city_grid_map(rows=3, cols=3, seed=2))
+        data["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError):
+            roadmap_from_dict(data)
+
+    def test_dict_is_json_serialisable(self):
+        data = roadmap_to_dict(city_grid_map(rows=3, cols=3, seed=3))
+        text = json.dumps(data)
+        assert json.loads(text)["format"] == "repro-roadmap"
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        original = city_grid_map(rows=4, cols=3, seed=4)
+        path = tmp_path / "map.json"
+        save_roadmap(original, path)
+        assert path.exists()
+        rebuilt = load_roadmap(path)
+        assert rebuilt.num_links() == original.num_links()
+        stats_a = original.statistics()
+        stats_b = rebuilt.statistics()
+        assert stats_a["total_length_km"] == pytest.approx(stats_b["total_length_km"])

@@ -1,0 +1,147 @@
+"""Unit tests for repro.roadmap.routing."""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.roadmap.generators import city_grid_map
+from repro.roadmap.routing import Route, RoutePlanner
+
+
+@pytest.fixture(scope="module")
+def city():
+    return city_grid_map(rows=6, cols=6, spacing_m=200.0, jitter_m=0.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def planner(city):
+    return RoutePlanner(city)
+
+
+class TestRoute:
+    def test_route_requires_links(self, city):
+        with pytest.raises(ValueError):
+            Route(city, [])
+
+    def test_route_requires_connected_links(self, city, planner):
+        route = planner.random_route(min_length=1000.0, rng=random.Random(0))
+        links = [route.links[0], route.links[-1]]
+        if links[0].to_node != links[1].from_node:
+            with pytest.raises(ValueError):
+                Route(city, links)
+
+    def test_length_is_sum_of_links(self, planner):
+        route = planner.random_route(min_length=1500.0, rng=random.Random(1))
+        assert route.length == pytest.approx(sum(l.length for l in route.links))
+
+    def test_point_at_endpoints(self, planner):
+        route = planner.random_route(min_length=1500.0, rng=random.Random(2))
+        np.testing.assert_allclose(route.point_at(0.0), route.start)
+        np.testing.assert_allclose(route.point_at(route.length), route.end)
+
+    def test_link_at_boundaries(self, planner):
+        route = planner.random_route(min_length=1500.0, rng=random.Random(3))
+        first_link, offset = route.link_at(0.0)
+        assert first_link.id == route.links[0].id
+        assert offset == 0.0
+        last_link, offset = route.link_at(route.length)
+        assert last_link.id == route.links[-1].id
+        assert offset == pytest.approx(last_link.length)
+
+    def test_link_index_monotone(self, planner):
+        route = planner.random_route(min_length=2000.0, rng=random.Random(4))
+        offsets = np.linspace(0.0, route.length, 50)
+        indices = [route.link_index_at(o) for o in offsets]
+        assert indices == sorted(indices)
+
+    def test_node_sequence_consistent(self, planner):
+        route = planner.random_route(min_length=1500.0, rng=random.Random(5))
+        nodes = route.node_sequence()
+        assert len(nodes) == len(route.links) + 1
+        for link, a, b in zip(route.links, nodes, nodes[1:]):
+            assert link.from_node == a
+            assert link.to_node == b
+
+    def test_distance_to_next_node(self, planner):
+        route = planner.random_route(min_length=1500.0, rng=random.Random(6))
+        d = route.distance_to_next_node(10.0)
+        assert 0.0 < d <= route.links[0].length
+
+    def test_speed_limit_at(self, planner):
+        route = planner.random_route(min_length=1000.0, rng=random.Random(7))
+        assert route.speed_limit_at(0.0) > 0
+
+    def test_project_roundtrip(self, planner):
+        route = planner.random_route(min_length=1500.0, rng=random.Random(8))
+        target = route.point_at(route.length / 3.0)
+        projected, offset, dist = route.project(target)
+        assert dist < 1e-6
+        np.testing.assert_allclose(route.point_at(offset), target, atol=1e-6)
+
+
+class TestRoutePlanner:
+    def test_invalid_weight(self, city):
+        with pytest.raises(ValueError):
+            RoutePlanner(city, weight="bananas")
+
+    def test_shortest_route_grid_distance(self, city, planner):
+        # Corner to corner on a 6x6 grid with 200 m spacing: 5+5 edges = 2000 m.
+        corner_a, _ = city.nearest_intersection((0.0, 0.0))
+        corner_b, _ = city.nearest_intersection((1000.0, 1000.0))
+        route = planner.shortest_route(corner_a.id, corner_b.id)
+        assert route.length == pytest.approx(2000.0, rel=1e-6)
+        assert route.node_sequence()[0] == corner_a.id
+        assert route.node_sequence()[-1] == corner_b.id
+
+    def test_route_from_nodes_requires_adjacency(self, city, planner):
+        corner_a, _ = city.nearest_intersection((0.0, 0.0))
+        corner_b, _ = city.nearest_intersection((1000.0, 1000.0))
+        with pytest.raises(ValueError):
+            planner.route_from_nodes([corner_a.id, corner_b.id])
+
+    def test_route_from_nodes_too_short(self, planner):
+        with pytest.raises(ValueError):
+            planner.route_from_nodes([0])
+
+    def test_route_from_links(self, city, planner):
+        route = planner.random_route(min_length=800.0, rng=random.Random(9))
+        rebuilt = planner.route_from_links([l.id for l in route.links])
+        assert rebuilt.length == pytest.approx(route.length)
+
+    def test_random_route_min_length(self, planner):
+        route = planner.random_route(min_length=3000.0, rng=random.Random(10))
+        assert route.length >= 3000.0
+
+    def test_random_route_is_connected(self, planner):
+        route = planner.random_route(min_length=2500.0, rng=random.Random(11))
+        for a, b in zip(route.links, route.links[1:]):
+            assert a.to_node == b.from_node
+
+    def test_random_route_straight_bias_reduces_turns(self, city):
+        planner = RoutePlanner(city)
+
+        def count_turns(route):
+            turns = 0
+            for a, b in zip(route.links, route.links[1:]):
+                da = a.direction_at(a.length)
+                db = b.direction_at(0.0)
+                if float(da @ db) < 0.9:
+                    turns += 1
+            return turns / max(1, len(route.links) - 1)
+
+        wiggly = planner.random_route(min_length=4000.0, rng=random.Random(12), straight_bias=0.0)
+        straight = planner.random_route(
+            min_length=4000.0, rng=random.Random(12), straight_bias=0.9
+        )
+        assert count_turns(straight) < count_turns(wiggly)
+
+    def test_random_route_invalid_bias(self, planner):
+        with pytest.raises(ValueError):
+            planner.random_route(min_length=100.0, straight_bias=1.5)
+
+    def test_unreachable_raises(self, city, planner):
+        corner_a, _ = city.nearest_intersection((0.0, 0.0))
+        with pytest.raises(nx.NetworkXException):
+            planner.shortest_route(corner_a.id, 10_000)

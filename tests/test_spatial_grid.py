@@ -1,0 +1,97 @@
+"""Unit tests for repro.spatial.grid."""
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.segment import Segment
+from repro.spatial.grid import GridIndex
+from repro.spatial.index import IndexedItem
+
+
+def segment_item(key, start, end):
+    seg = Segment(start, end)
+    return IndexedItem(key=key, bounds=BoundingBox(*seg.bounds()), distance=seg.distance_to)
+
+
+@pytest.fixture()
+def populated_index():
+    index = GridIndex(cell_size=100.0)
+    # A grid of horizontal segments spaced 200 m apart vertically.
+    for i in range(10):
+        index.insert(segment_item(i, (0.0, i * 200.0), (1000.0, i * 200.0)))
+    return index
+
+
+class TestConstruction:
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size=0.0)
+
+    def test_len(self, populated_index):
+        assert len(populated_index) == 10
+
+    def test_constructor_accepts_items(self):
+        items = [segment_item(0, (0, 0), (10, 0))]
+        assert len(GridIndex(cell_size=50.0, items=items)) == 1
+
+    def test_cell_statistics(self, populated_index):
+        stats = populated_index.cell_statistics()
+        assert stats["cells"] > 0
+        assert stats["max_per_cell"] >= 1
+
+    def test_empty_statistics(self):
+        stats = GridIndex().cell_statistics()
+        assert stats == {"cells": 0, "max_per_cell": 0, "mean_per_cell": 0.0}
+
+
+class TestQueries:
+    def test_query_bbox_finds_intersecting(self, populated_index):
+        hits = populated_index.query_bbox(BoundingBox(400.0, -10.0, 600.0, 210.0))
+        assert sorted(item.key for item in hits) == [0, 1]
+
+    def test_query_bbox_no_hits(self, populated_index):
+        assert populated_index.query_bbox(BoundingBox(0.0, 2500.0, 10.0, 2600.0)) == []
+
+    def test_query_bbox_does_not_duplicate(self, populated_index):
+        hits = populated_index.query_bbox(BoundingBox(-50.0, -50.0, 1050.0, 50.0))
+        keys = [item.key for item in hits]
+        assert len(keys) == len(set(keys))
+
+    def test_query_radius_exact(self, populated_index):
+        hits = populated_index.query_radius((500.0, 90.0), 95.0)
+        assert [item.key for item in hits] == [0]
+
+    def test_query_radius_multiple(self, populated_index):
+        hits = populated_index.query_radius((500.0, 100.0), 150.0)
+        assert sorted(item.key for item in hits) == [0, 1]
+
+    def test_nearest(self, populated_index):
+        found = populated_index.nearest((500.0, 260.0))
+        assert found is not None
+        item, dist = found
+        assert item.key == 1
+        assert dist == pytest.approx(60.0)
+
+    def test_nearest_respects_max_distance(self, populated_index):
+        assert populated_index.nearest((500.0, 260.0), max_distance=10.0) is None
+
+    def test_nearest_on_empty_index(self):
+        assert GridIndex().nearest((0.0, 0.0)) is None
+
+    def test_nearest_zero_max_distance(self, populated_index):
+        assert populated_index.nearest((500.0, 0.0), max_distance=0.0) is None
+
+    def test_k_nearest_ordering(self, populated_index):
+        results = populated_index.k_nearest((500.0, 250.0), k=3)
+        keys = [item.key for item, _ in results]
+        assert keys == [1, 2, 0]
+        dists = [d for _, d in results]
+        assert dists == sorted(dists)
+
+    def test_k_nearest_k_zero(self, populated_index):
+        assert populated_index.k_nearest((0.0, 0.0), k=0) == []
+
+    def test_nearest_far_query_still_finds(self, populated_index):
+        found = populated_index.nearest((50000.0, 50000.0))
+        assert found is not None

@@ -1,0 +1,103 @@
+"""Unit tests for repro.spatial.rtree."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.segment import Segment
+from repro.spatial.grid import GridIndex
+from repro.spatial.index import IndexedItem, brute_force_nearest
+from repro.spatial.rtree import STRtree
+
+
+def random_items(n, seed=0, extent=5000.0):
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        x, y = rng.uniform(0, extent), rng.uniform(0, extent)
+        dx, dy = rng.uniform(-300, 300), rng.uniform(-300, 300)
+        seg = Segment((x, y), (x + dx, y + dy))
+        items.append(
+            IndexedItem(key=i, bounds=BoundingBox(*seg.bounds()), distance=seg.distance_to)
+        )
+    return items
+
+
+class TestConstruction:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            STRtree(node_capacity=1)
+
+    def test_empty_tree(self):
+        tree = STRtree()
+        assert len(tree) == 0
+        assert tree.height() == 0
+        assert tree.query_bbox(BoundingBox(0, 0, 1, 1)) == []
+        assert tree.nearest((0.0, 0.0)) is None
+
+    def test_len_and_height(self):
+        tree = STRtree(random_items(100), node_capacity=8)
+        assert len(tree) == 100
+        assert tree.height() >= 2
+
+    def test_single_item(self):
+        tree = STRtree(random_items(1))
+        assert tree.height() == 1
+        assert len(tree.query_bbox(BoundingBox(-1e6, -1e6, 1e6, 1e6))) == 1
+
+
+class TestQueries:
+    def test_query_bbox_matches_linear_scan(self):
+        items = random_items(200, seed=1)
+        tree = STRtree(items, node_capacity=10)
+        box = BoundingBox(1000.0, 1000.0, 2500.0, 2500.0)
+        expected = {item.key for item in items if item.bounds.intersects(box)}
+        got = {item.key for item in tree.query_bbox(box)}
+        assert got == expected
+
+    def test_nearest_matches_brute_force(self):
+        items = random_items(150, seed=2)
+        tree = STRtree(items)
+        for query in [(0.0, 0.0), (2500.0, 2500.0), (4999.0, 10.0), (-500.0, 6000.0)]:
+            expected = brute_force_nearest(items, query)
+            got = tree.nearest(query)
+            assert got is not None and expected is not None
+            assert got[1] == pytest.approx(expected[1])
+
+    def test_agrees_with_grid_index(self):
+        items = random_items(300, seed=3)
+        tree = STRtree(items)
+        grid = GridIndex(cell_size=400.0, items=items)
+        rng = random.Random(7)
+        for _ in range(25):
+            q = (rng.uniform(-500, 5500), rng.uniform(-500, 5500))
+            t = tree.nearest(q)
+            g = grid.nearest(q)
+            assert t is not None and g is not None
+            assert t[1] == pytest.approx(g[1], abs=1e-9)
+
+    def test_insert_after_build_is_found(self):
+        items = random_items(50, seed=4)
+        tree = STRtree(items)
+        extra = random_items(1, seed=99)[0]
+        far = IndexedItem(
+            key="extra",
+            bounds=BoundingBox(100000.0, 100000.0, 100010.0, 100010.0),
+            distance=lambda p: float(np.hypot(p[0] - 100005.0, p[1] - 100005.0)),
+        )
+        tree.insert(far)
+        assert len(tree) == 51
+        found = tree.nearest((100004.0, 100004.0))
+        assert found is not None
+        assert found[0].key == "extra"
+
+    def test_query_radius(self):
+        items = random_items(100, seed=5)
+        tree = STRtree(items)
+        hits = tree.query_radius((2500.0, 2500.0), 800.0)
+        for item in hits:
+            assert item.distance((2500.0, 2500.0)) <= 800.0
+        expected = {i.key for i in items if i.distance((2500.0, 2500.0)) <= 800.0}
+        assert {i.key for i in hits} == expected

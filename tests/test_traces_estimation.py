@@ -1,0 +1,100 @@
+"""Unit tests for repro.traces.estimation."""
+
+import numpy as np
+import pytest
+
+from repro.traces.estimation import StateEstimator, estimate_velocity, recommended_window
+
+
+class TestEstimateVelocity:
+    def test_constant_velocity_exact(self):
+        times = np.arange(5.0)
+        positions = np.column_stack((times * 10.0, times * -5.0))
+        velocity, speed = estimate_velocity(times, positions)
+        np.testing.assert_allclose(velocity, [10.0, -5.0], atol=1e-9)
+        assert speed == pytest.approx(np.hypot(10.0, 5.0))
+
+    def test_single_sample_is_zero(self):
+        velocity, speed = estimate_velocity(np.array([0.0]), np.array([[1.0, 2.0]]))
+        assert speed == 0.0
+        assert velocity.tolist() == [0.0, 0.0]
+
+    def test_two_samples_finite_difference(self):
+        velocity, speed = estimate_velocity(
+            np.array([0.0, 2.0]), np.array([[0.0, 0.0], [10.0, 0.0]])
+        )
+        np.testing.assert_allclose(velocity, [5.0, 0.0])
+        assert speed == pytest.approx(5.0)
+
+    def test_identical_times_return_zero(self):
+        velocity, speed = estimate_velocity(
+            np.array([1.0, 1.0]), np.array([[0.0, 0.0], [10.0, 0.0]])
+        )
+        assert speed == 0.0
+
+    def test_noise_averaging(self):
+        rng = np.random.default_rng(0)
+        times = np.arange(20.0)
+        truth = np.column_stack((times * 20.0, np.zeros_like(times)))
+        noisy = truth + rng.normal(0.0, 2.0, size=truth.shape)
+        _, speed_small = estimate_velocity(times[-2:], noisy[-2:])
+        _, speed_large = estimate_velocity(times, noisy)
+        assert abs(speed_large - 20.0) < abs(speed_small - 20.0) + 2.0
+
+
+class TestStateEstimator:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            StateEstimator(window=1)
+
+    def test_first_update_zero(self):
+        estimator = StateEstimator(window=4)
+        velocity, speed = estimator.update(0.0, (0.0, 0.0))
+        assert speed == 0.0
+
+    def test_converges_to_constant_velocity(self):
+        estimator = StateEstimator(window=4)
+        for t in range(10):
+            velocity, speed = estimator.update(float(t), (t * 15.0, 0.0))
+        np.testing.assert_allclose(velocity, [15.0, 0.0], atol=1e-9)
+        assert speed == pytest.approx(15.0)
+
+    def test_window_limits_memory(self):
+        estimator = StateEstimator(window=2)
+        estimator.update(0.0, (0.0, 0.0))
+        estimator.update(1.0, (100.0, 0.0))
+        velocity, speed = estimator.update(2.0, (100.0, 0.0))
+        # With a window of 2, the old fast movement is forgotten: speed is 0.
+        assert speed == pytest.approx(0.0, abs=1e-9)
+
+    def test_n_samples_and_reset(self):
+        estimator = StateEstimator(window=4)
+        estimator.update(0.0, (0.0, 0.0))
+        estimator.update(1.0, (1.0, 0.0))
+        assert estimator.n_samples == 2
+        estimator.reset()
+        assert estimator.n_samples == 0
+        _, speed = estimator.update(5.0, (0.0, 0.0))
+        assert speed == 0.0
+
+    def test_current_direction(self):
+        estimator = StateEstimator(window=3)
+        estimator.update(0.0, (0.0, 0.0))
+        estimator.update(1.0, (0.0, 10.0))
+        direction = estimator.current_direction()
+        np.testing.assert_allclose(direction, [0.0, 1.0], atol=1e-9)
+
+    def test_current_direction_unknown(self):
+        estimator = StateEstimator(window=3)
+        assert estimator.current_direction().tolist() == [0.0, 0.0]
+
+
+class TestRecommendedWindow:
+    def test_freeway_speeds(self):
+        assert recommended_window(30.0) == 2  # ~108 km/h
+
+    def test_urban_speeds(self):
+        assert recommended_window(10.0) == 4  # ~36 km/h
+
+    def test_walking_speeds(self):
+        assert recommended_window(1.3) == 8

@@ -1,0 +1,103 @@
+"""Unit tests for repro.traces.filters."""
+
+import numpy as np
+import pytest
+
+from repro.traces.filters import AlphaBetaFilter, MovingAverageFilter
+from repro.traces.noise import GaussianNoise
+from repro.traces.trace import Trace
+
+
+@pytest.fixture()
+def noisy_walk():
+    times = np.arange(0.0, 400.0)
+    truth = np.column_stack((times * 1.3, np.zeros_like(times)))
+    noisy = GaussianNoise(sigma=3.0, seed=0).apply(Trace(times, truth))
+    return Trace(times, truth), noisy
+
+
+class TestMovingAverageFilter:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MovingAverageFilter(window=0)
+
+    def test_window_one_is_identity(self, straight_trace):
+        filtered = MovingAverageFilter(window=1).filter_trace(straight_trace)
+        np.testing.assert_allclose(filtered.positions, straight_trace.positions)
+
+    def test_constant_signal_unchanged(self):
+        times = np.arange(0.0, 20.0)
+        trace = Trace(times, np.full((20, 2), 7.0))
+        filtered = MovingAverageFilter(window=5).filter_trace(trace)
+        np.testing.assert_allclose(filtered.positions, trace.positions)
+
+    def test_reduces_noise(self, noisy_walk):
+        truth, noisy = noisy_walk
+        filtered = MovingAverageFilter(window=5).filter_trace(noisy)
+        raw_error = np.hypot(*(noisy.positions - truth.positions).T)
+        filtered_error = np.hypot(*(filtered.positions - truth.positions).T)
+        assert filtered_error.mean() < raw_error.mean()
+
+    def test_update_and_reset(self):
+        filt = MovingAverageFilter(window=3)
+        filt.update(0.0, (0.0, 0.0))
+        out = filt.update(1.0, (6.0, 0.0))
+        assert out[0] == pytest.approx(3.0)
+        filt.reset()
+        out = filt.update(2.0, (10.0, 0.0))
+        assert out[0] == pytest.approx(10.0)
+
+
+class TestAlphaBetaFilter:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AlphaBetaFilter(alpha=0.0)
+        with pytest.raises(ValueError):
+            AlphaBetaFilter(alpha=1.5)
+        with pytest.raises(ValueError):
+            AlphaBetaFilter(beta=0.0)
+        with pytest.raises(ValueError):
+            AlphaBetaFilter(beta=2.5)
+
+    def test_first_sample_passthrough(self):
+        filt = AlphaBetaFilter()
+        out = filt.update(0.0, (5.0, 5.0))
+        np.testing.assert_allclose(out, [5.0, 5.0])
+
+    def test_non_increasing_time_rejected(self):
+        filt = AlphaBetaFilter()
+        filt.update(0.0, (0.0, 0.0))
+        with pytest.raises(ValueError):
+            filt.update(0.0, (1.0, 0.0))
+
+    def test_tracks_constant_velocity(self, straight_trace):
+        filt = AlphaBetaFilter(alpha=0.85, beta=0.3)
+        filtered = filt.filter_trace(straight_trace)
+        # After convergence the filtered positions follow the truth closely.
+        tail_error = np.hypot(
+            *(filtered.positions[20:] - straight_trace.positions[20:]).T
+        )
+        assert tail_error.max() < 1.0
+
+    def test_velocity_estimate_converges(self, straight_trace):
+        filt = AlphaBetaFilter()
+        for t, p in zip(straight_trace.times, straight_trace.positions):
+            filt.update(t, p)
+        assert filt.velocity[0] == pytest.approx(20.0, rel=0.05)
+        assert abs(filt.velocity[1]) < 0.5
+
+    def test_reduces_noise(self, noisy_walk):
+        truth, noisy = noisy_walk
+        filtered = AlphaBetaFilter(alpha=0.5, beta=0.1).filter_trace(noisy)
+        raw_error = np.hypot(*(noisy.positions - truth.positions).T)
+        filtered_error = np.hypot(*(filtered.positions - truth.positions).T)
+        assert filtered_error[50:].mean() < raw_error[50:].mean()
+
+    def test_reset(self):
+        filt = AlphaBetaFilter()
+        filt.update(0.0, (0.0, 0.0))
+        filt.update(1.0, (10.0, 0.0))
+        filt.reset()
+        assert filt.velocity.tolist() == [0.0, 0.0]
+        out = filt.update(5.0, (100.0, 0.0))
+        np.testing.assert_allclose(out, [100.0, 0.0])

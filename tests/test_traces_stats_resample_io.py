@@ -1,0 +1,107 @@
+"""Unit tests for repro.traces.stats, repro.traces.resample and repro.traces.io."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geodesy import LocalProjection
+from repro.traces.io import load_trace_csv, load_trace_wgs84_csv, save_trace_csv
+from repro.traces.resample import decimate, resample_uniform
+from repro.traces.stats import compute_statistics
+from repro.traces.trace import Trace
+
+
+class TestStatistics:
+    def test_straight_trace_statistics(self, straight_trace):
+        stats = compute_statistics(straight_trace)
+        assert stats.length_km == pytest.approx(1.2)
+        assert stats.duration_h == pytest.approx(60.0 / 3600.0)
+        assert stats.average_speed_kmh == pytest.approx(72.0)
+        assert stats.max_speed_kmh == pytest.approx(72.0)
+        assert stats.n_samples == 61
+
+    def test_smoothed_max_below_raw_max_for_noisy_trace(self):
+        rng = np.random.default_rng(0)
+        times = np.arange(0.0, 600.0)
+        truth = np.column_stack((times * 10.0, np.zeros_like(times)))
+        noisy = truth + rng.normal(0.0, 5.0, truth.shape)
+        stats = compute_statistics(Trace(times, noisy))
+        assert stats.smoothed_max_speed_kmh < stats.max_speed_kmh
+
+    def test_as_row_keys(self, straight_trace):
+        row = compute_statistics(straight_trace).as_row()
+        assert "length [km]" in row
+        assert "avg speed [km/h]" in row
+
+    def test_single_sample_trace(self):
+        stats = compute_statistics(Trace([0.0], np.array([[0.0, 0.0]])))
+        assert stats.length_km == 0.0
+        assert stats.average_speed_kmh == 0.0
+
+
+class TestResample:
+    def test_resample_interval(self, straight_trace):
+        resampled = resample_uniform(straight_trace, 2.0)
+        assert resampled.sampling_interval == pytest.approx(2.0)
+        assert resampled.times[0] == straight_trace.times[0]
+        assert resampled.times[-1] == pytest.approx(straight_trace.times[-1])
+
+    def test_resample_preserves_linear_motion(self, straight_trace):
+        resampled = resample_uniform(straight_trace, 0.5)
+        speeds = resampled.speeds()
+        np.testing.assert_allclose(speeds, 20.0, atol=1e-9)
+
+    def test_resample_invalid(self, straight_trace):
+        with pytest.raises(ValueError):
+            resample_uniform(straight_trace, 0.0)
+        with pytest.raises(ValueError):
+            resample_uniform(Trace([0.0], np.array([[0.0, 0.0]])), 1.0)
+
+    def test_decimate(self, straight_trace):
+        decimated = decimate(straight_trace, 10)
+        assert len(decimated) == 7
+        assert decimated.times[1] == 10.0
+
+    def test_decimate_invalid(self, straight_trace):
+        with pytest.raises(ValueError):
+            decimate(straight_trace, 0)
+
+
+class TestCsvIo:
+    def test_roundtrip(self, tmp_path, l_shaped_trace):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(l_shaped_trace, path)
+        loaded = load_trace_csv(path, name="roundtrip")
+        assert len(loaded) == len(l_shaped_trace)
+        np.testing.assert_allclose(loaded.times, l_shaped_trace.times, atol=1e-3)
+        np.testing.assert_allclose(loaded.positions, l_shaped_trace.positions, atol=1e-3)
+        assert loaded.name == "roundtrip"
+
+    def test_load_rejects_wrong_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)
+
+    def test_load_wgs84(self, tmp_path):
+        projection = LocalProjection(ref_lat=48.7, ref_lon=9.1)
+        path = tmp_path / "wgs.csv"
+        path.write_text(
+            "time,lat,lon\n0,48.7,9.1\n1,48.701,9.1\n2,48.702,9.1\n"
+        )
+        trace = load_trace_wgs84_csv(path, projection=projection)
+        assert len(trace) == 3
+        assert trace.positions[0].tolist() == [0.0, 0.0]
+        # 0.001 degrees of latitude is roughly 111 m.
+        assert trace.positions[1][1] == pytest.approx(111.0, rel=0.01)
+
+    def test_load_wgs84_default_projection(self, tmp_path):
+        path = tmp_path / "wgs2.csv"
+        path.write_text("time,lat,lon\n0,48.7,9.1\n1,48.7005,9.1\n")
+        trace = load_trace_wgs84_csv(path)
+        assert trace.positions[0].tolist() == [0.0, 0.0]
+
+    def test_load_wgs84_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time,lat,lon\n")
+        with pytest.raises(ValueError):
+            load_trace_wgs84_csv(path)
