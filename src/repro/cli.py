@@ -4,8 +4,9 @@
 writing any Python::
 
     repro table1 --scale 0.25
-    repro figure 7 --scale 0.25
-    repro headline --scale 0.25
+    repro figure 7 --scale 0.25 --jobs 4
+    repro headline --scale 0.25 --jobs 4
+    repro sweep --scenario freeway --protocol map --scale 0.25 --out-dir artifacts
     repro simulate --scenario city --protocol map --accuracy 100 --scale 0.2
     repro generate-map city --out city.json
     repro generate-trace --scenario walking --out walk.csv --noisy
@@ -13,11 +14,15 @@ writing any Python::
 
 Every command prints plain-text tables (or JSON with ``--json``) so the
 output can be diffed against the paper's numbers or piped into other tools.
+Sweep-shaped commands execute on the shared
+:class:`~repro.sim.runner.SweepRunner`; ``--jobs N`` fans their points out
+over N worker processes, with results guaranteed identical to a serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional, Sequence
 
@@ -43,7 +48,7 @@ from repro.roadmap.generators import (
     pedestrian_map,
 )
 from repro.sim.config import PROTOCOL_IDS, SimulationConfig
-from repro.sim.engine import ProtocolSimulation
+from repro.sim.runner import ScenarioSpec, SweepRunner
 from repro.traces import io as trace_io
 
 _FIGURES = {"7": figure7, "8": figure8, "9": figure9, "10": figure10}
@@ -53,6 +58,30 @@ _MAP_GENERATORS = {
     "city": city_grid_map,
     "pedestrian": pedestrian_map,
 }
+
+
+def _positive_int(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if n < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return n
+
+
+def _accuracy_list(value: str) -> List[float]:
+    try:
+        out = [float(v) for v in value.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers (e.g. 20,50,100), got {value!r}"
+        )
+    if not out:
+        raise argparse.ArgumentTypeError("expected at least one accuracy value")
+    if not all(math.isfinite(us) and us > 0 for us in out):
+        raise argparse.ArgumentTypeError("accuracy values must be positive and finite")
+    return out
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,17 +101,41 @@ def build_parser() -> argparse.ArgumentParser:
             help="fraction of the paper's trace length to simulate (default 1.0)",
         )
 
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=_positive_int, default=1,
+            help="parallel worker processes for the sweep points (default 1)",
+        )
+
     p_table = subparsers.add_parser("table1", help="reproduce Table 1")
     add_scale(p_table)
 
     p_figure = subparsers.add_parser("figure", help="reproduce Figure 7, 8, 9 or 10")
     p_figure.add_argument("number", choices=sorted(_FIGURES), help="figure number")
     add_scale(p_figure)
+    add_jobs(p_figure)
 
     p_headline = subparsers.add_parser(
         "headline", help="maximum update-rate reductions (abstract / Sec. 4)"
     )
     add_scale(p_headline)
+    add_jobs(p_headline)
+
+    p_sweep = subparsers.add_parser(
+        "sweep", help="run one protocol's accuracy sweep and write JSON/CSV artifacts"
+    )
+    p_sweep.add_argument("--scenario", choices=[s.value for s in ScenarioName], required=True)
+    p_sweep.add_argument("--protocol", choices=list(PROTOCOL_IDS), required=True)
+    p_sweep.add_argument(
+        "--accuracies", type=_accuracy_list, default=None,
+        help="comma-separated us values in metres (default: the scenario's sweep)",
+    )
+    p_sweep.add_argument(
+        "--out-dir", type=str, default=None,
+        help="directory for the JSON/CSV artifacts (default: print only)",
+    )
+    add_scale(p_sweep)
+    add_jobs(p_sweep)
 
     p_ablation = subparsers.add_parser("ablation", help="run one of the ablation studies")
     p_ablation.add_argument(
@@ -144,7 +197,7 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    figure = _FIGURES[args.number](scale=args.scale)
+    figure = _FIGURES[args.number](scale=args.scale, jobs=args.jobs)
     if args.json:
         print(to_json(figure.as_rows()))
         return 0
@@ -161,9 +214,38 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_headline(args) -> int:
-    reductions = headline_reductions(scale=args.scale)
+    reductions = headline_reductions(scale=args.scale, jobs=args.jobs)
     rows = [{"scenario": name, **values} for name, values in reductions.items()]
     _emit(args, rows, "Maximum update-rate reductions [%]")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    spec = ScenarioSpec(name=args.scenario, scale=args.scale)
+    with SweepRunner(jobs=args.jobs) as runner:
+        return _run_sweep_command(args, runner, spec)
+
+
+def _run_sweep_command(args, runner: SweepRunner, spec: ScenarioSpec) -> int:
+    points = runner.run_config_sweep(spec, args.protocol, args.accuracies)
+    rows = [point.result.as_dict() for point in points]
+    _emit(args, rows, f"{args.protocol} sweep on {args.scenario} (scale {args.scale:g})")
+    if args.out_dir:
+        name = f"sweep_{args.scenario}_{args.protocol}"
+        written = runner.write_artifacts(
+            points,
+            name,
+            out_dir=args.out_dir,
+            metadata={
+                "scenario": args.scenario,
+                "protocol": args.protocol,
+                "scale": args.scale,
+                "jobs": args.jobs,
+            },
+        )
+        for fmt, path in written.items():
+            # stderr, so `--json` stdout stays machine-parseable.
+            print(f"wrote {fmt}: {path}", file=sys.stderr)
     return 0
 
 
@@ -188,11 +270,7 @@ def _cmd_simulate(args) -> int:
     protocol = SimulationConfig(
         protocol_id=args.protocol, accuracy=args.accuracy
     ).build_protocol(scenario)
-    result = ProtocolSimulation(
-        protocol=protocol,
-        sensor_trace=scenario.sensor_trace,
-        truth_trace=scenario.true_trace,
-    ).run()
+    result = SweepRunner().run_single(scenario, protocol)
     _emit(args, [result.as_dict()], f"{args.protocol} on {args.scenario} (us={args.accuracy:g} m)")
     return 0
 
@@ -246,6 +324,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "figure": _cmd_figure,
     "headline": _cmd_headline,
+    "sweep": _cmd_sweep,
     "ablation": _cmd_ablation,
     "simulate": _cmd_simulate,
     "generate-map": _cmd_generate_map,

@@ -36,17 +36,16 @@ from repro.protocols.prediction import (
 )
 from repro.protocols.probabilistic import ProbabilisticMapBasedProtocol
 from repro.roadmap.probability import TurnProbabilityTable
-from repro.sim.engine import ProtocolSimulation
 from repro.sim.metrics import SimulationResult
+from repro.sim.runner import SweepRunner
+
+#: All ablation studies execute through the shared sweep runner, like the
+#: figures and tables — one pipeline, one set of engine fast paths.
+_RUNNER = SweepRunner()
 
 
 def _run(protocol, scenario: Scenario, channel=None) -> SimulationResult:
-    return ProtocolSimulation(
-        protocol=protocol,
-        sensor_trace=scenario.sensor_trace,
-        truth_trace=scenario.true_trace,
-        channel=channel,
-    ).run()
+    return _RUNNER.run_single(scenario, protocol, channel=channel)
 
 
 # --------------------------------------------------------------------------- #

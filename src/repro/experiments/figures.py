@@ -16,14 +16,14 @@ protocol; :func:`route_update_counts` reproduces their quantitative content
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.experiments.scenarios import get_scenario
 from repro.mobility.scenarios import Scenario, ScenarioName
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import ProtocolSimulation
 from repro.sim.metrics import SimulationResult
-from repro.sim.sweep import SweepPoint, run_accuracy_sweep
+from repro.sim.runner import ScenarioSpec, SweepRunner, SweepTask
+from repro.sim.sweep import SweepPoint
 
 #: Protocols plotted in Figures 7-10, in the paper's order.
 FIGURE_PROTOCOLS = ("distance", "linear", "map")
@@ -125,47 +125,107 @@ class FigureResult:
 # figure runners
 # --------------------------------------------------------------------------- #
 def figure_for_scenario(
-    scenario: Scenario,
+    scenario: Union[Scenario, ScenarioSpec],
     protocol_ids: Sequence[str] = FIGURE_PROTOCOLS,
     accuracies: Optional[Sequence[float]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> FigureResult:
-    """Compute the Figure 7-10 data for an arbitrary scenario."""
-    series: Dict[str, FigureSeries] = {}
-    for protocol_id in protocol_ids:
-        def factory(us: float, _pid=protocol_id):
-            return SimulationConfig(protocol_id=_pid, accuracy=us).build_protocol(scenario)
+    """Compute the Figure 7-10 data for an arbitrary scenario.
 
-        points = run_accuracy_sweep(scenario, factory, accuracies)
-        series[protocol_id] = FigureSeries(
+    Given a :class:`~repro.sim.runner.ScenarioSpec`, all protocol × accuracy
+    points are submitted to the runner as one flat task batch, so a parallel
+    runner spreads the whole figure over its workers; a plain
+    :class:`Scenario` runs in-process.
+    """
+    runner = runner or SweepRunner()
+    if isinstance(scenario, ScenarioSpec):
+        built = scenario.build()
+        us_values = list(accuracies if accuracies is not None else built.us_values)
+        pairs = [(protocol_id, us) for protocol_id in protocol_ids for us in us_values]
+        tasks = [
+            SweepTask(
+                scenario=scenario,
+                config=SimulationConfig(protocol_id=protocol_id, accuracy=float(us)),
+            )
+            for protocol_id, us in pairs
+        ]
+        points = runner.run_tasks(tasks)
+        per_protocol: Dict[str, List[SweepPoint]] = {pid: [] for pid in protocol_ids}
+        for (protocol_id, _us), point in zip(pairs, points):
+            per_protocol[protocol_id].append(point)
+    else:
+        built = scenario
+        per_protocol = {
+            protocol_id: runner.run_config_sweep(scenario, protocol_id, accuracies)
+            for protocol_id in protocol_ids
+        }
+    series: Dict[str, FigureSeries] = {
+        protocol_id: FigureSeries(
             protocol_id=protocol_id,
             label=PROTOCOL_LABELS.get(protocol_id, protocol_id),
-            points=points,
+            points=per_protocol[protocol_id],
         )
+        for protocol_id in protocol_ids
+    }
     return FigureResult(
-        scenario_name=scenario.name.value,
-        description=scenario.description,
+        scenario_name=built.name.value,
+        description=built.description,
         series=series,
     )
 
 
-def figure7(scale: float = 1.0, accuracies: Optional[Sequence[float]] = None) -> FigureResult:
+def _figure(
+    name: ScenarioName,
+    scale: float,
+    accuracies: Optional[Sequence[float]],
+    jobs: int,
+    runner: Optional[SweepRunner],
+) -> FigureResult:
+    spec = ScenarioSpec(name=name.value, scale=float(scale))
+    if runner is not None:
+        return figure_for_scenario(spec, accuracies=accuracies, runner=runner)
+    with SweepRunner(jobs=jobs) as owned:
+        return figure_for_scenario(spec, accuracies=accuracies, runner=owned)
+
+
+def figure7(
+    scale: float = 1.0,
+    accuracies: Optional[Sequence[float]] = None,
+    jobs: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> FigureResult:
     """Fig. 7 — freeway traffic."""
-    return figure_for_scenario(get_scenario(ScenarioName.FREEWAY, scale=scale), accuracies=accuracies)
+    return _figure(ScenarioName.FREEWAY, scale, accuracies, jobs, runner)
 
 
-def figure8(scale: float = 1.0, accuracies: Optional[Sequence[float]] = None) -> FigureResult:
+def figure8(
+    scale: float = 1.0,
+    accuracies: Optional[Sequence[float]] = None,
+    jobs: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> FigureResult:
     """Fig. 8 — inter-urban traffic."""
-    return figure_for_scenario(get_scenario(ScenarioName.INTERURBAN, scale=scale), accuracies=accuracies)
+    return _figure(ScenarioName.INTERURBAN, scale, accuracies, jobs, runner)
 
 
-def figure9(scale: float = 1.0, accuracies: Optional[Sequence[float]] = None) -> FigureResult:
+def figure9(
+    scale: float = 1.0,
+    accuracies: Optional[Sequence[float]] = None,
+    jobs: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> FigureResult:
     """Fig. 9 — city traffic."""
-    return figure_for_scenario(get_scenario(ScenarioName.CITY, scale=scale), accuracies=accuracies)
+    return _figure(ScenarioName.CITY, scale, accuracies, jobs, runner)
 
 
-def figure10(scale: float = 1.0, accuracies: Optional[Sequence[float]] = None) -> FigureResult:
+def figure10(
+    scale: float = 1.0,
+    accuracies: Optional[Sequence[float]] = None,
+    jobs: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> FigureResult:
     """Fig. 10 — walking person."""
-    return figure_for_scenario(get_scenario(ScenarioName.WALKING, scale=scale), accuracies=accuracies)
+    return _figure(ScenarioName.WALKING, scale, accuracies, jobs, runner)
 
 
 def route_update_counts(
@@ -179,20 +239,19 @@ def route_update_counts(
     scenario route.
     """
     scenario = get_scenario(scenario_name, scale=scale)
+    runner = SweepRunner()
     out: Dict[str, SimulationResult] = {}
     for protocol_id in ("linear", "map"):
         protocol = SimulationConfig(protocol_id=protocol_id, accuracy=accuracy).build_protocol(
             scenario
         )
-        out[protocol_id] = ProtocolSimulation(
-            protocol=protocol,
-            sensor_trace=scenario.sensor_trace,
-            truth_trace=scenario.true_trace,
-        ).run()
+        out[protocol_id] = runner.run_single(scenario, protocol)
     return out
 
 
-def headline_reductions(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+def headline_reductions(
+    scale: float = 1.0, jobs: int = 1, runner: Optional[SweepRunner] = None
+) -> Dict[str, Dict[str, float]]:
     """The reductions quoted in the paper's abstract and Section 4.
 
     Returns, per scenario, the maximum reduction of linear-prediction DR
@@ -200,14 +259,17 @@ def headline_reductions(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
     of map-based DR versus distance-based reporting (the paper quotes up to
     83%, 60% and 91% respectively).
     """
+    if runner is None:
+        with SweepRunner(jobs=jobs) as owned:
+            return headline_reductions(scale=scale, runner=owned)
     out: Dict[str, Dict[str, float]] = {}
-    for name, runner in (
+    for name, figure_runner in (
         (ScenarioName.FREEWAY, figure7),
         (ScenarioName.INTERURBAN, figure8),
         (ScenarioName.CITY, figure9),
         (ScenarioName.WALKING, figure10),
     ):
-        figure = runner(scale=scale)
+        figure = figure_runner(scale=scale, runner=runner)
         out[name.value] = {
             "linear_vs_distance_pct": round(figure.reduction_vs_baseline("linear"), 1),
             "map_vs_linear_pct": round(figure.reduction_between("map", "linear"), 1),

@@ -2,18 +2,18 @@
 
 Building a scenario (generating the map, planning the route, simulating the
 journey) is by far the most expensive part of an experiment, and every
-figure reuses the same scenario for all of its protocol curves.  The cache
-here guarantees that repeated calls with identical parameters return the
-same object, which also keeps the experiments deterministic.
+figure reuses the same scenario for all of its protocol curves.  Since the
+fleet refactor the cache itself lives in :mod:`repro.sim.runner` (keyed by
+:class:`~repro.sim.runner.ScenarioSpec`, shared with the sweep runner and
+its worker processes); this module keeps the convenient name-based
+interface the experiments use.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
-from repro.mobility.scenarios import Scenario, ScenarioName, build_scenario
-
-_CACHE: Dict[Tuple[str, float, int], Scenario] = {}
+from repro.mobility.scenarios import Scenario, ScenarioName
+from repro.sim.runner import ScenarioSpec
+from repro.sim.runner import clear_scenario_cache as _clear_runner_cache
 
 
 def get_scenario(name: ScenarioName | str, scale: float = 1.0, seed: int | None = None) -> Scenario:
@@ -29,12 +29,9 @@ def get_scenario(name: ScenarioName | str, scale: float = 1.0, seed: int | None 
     seed:
         Scenario seed; ``None`` uses each scenario's default seed.
     """
-    key = (ScenarioName(name).value, float(scale), -1 if seed is None else int(seed))
-    if key not in _CACHE:
-        _CACHE[key] = build_scenario(name, seed=seed, scale=scale)
-    return _CACHE[key]
+    return ScenarioSpec(name=ScenarioName(name).value, scale=float(scale), seed=seed).build()
 
 
 def clear_scenario_cache() -> None:
     """Drop all cached scenarios (used by tests that need fresh randomness)."""
-    _CACHE.clear()
+    _clear_runner_cache()

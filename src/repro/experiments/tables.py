@@ -72,7 +72,9 @@ def table1(scale: float = 1.0) -> List[Table1Row]:
 
     Note that length and duration scale with *scale* (they are extensive),
     while the speeds are intensive and should match the paper regardless of
-    scale.
+    scale.  Scenarios come from the shared per-process cache behind
+    :func:`~repro.experiments.scenarios.get_scenario`, so a figure run in
+    the same process reuses them for free.
     """
     rows: List[Table1Row] = []
     for name in ScenarioName:

@@ -28,7 +28,7 @@ class Polyline:
     long traces.
     """
 
-    __slots__ = ("_points", "_cumulative", "_length")
+    __slots__ = ("_points", "_cumulative", "_length", "_proj")
 
     def __init__(self, points: Iterable[Vec2]):
         pts = [as_vec(p) for p in points]
@@ -39,6 +39,7 @@ class Polyline:
         seg_lengths = np.hypot(deltas[:, 0], deltas[:, 1])
         self._cumulative = np.concatenate(([0.0], np.cumsum(seg_lengths)))
         self._length = float(self._cumulative[-1])
+        self._proj: tuple | None = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -152,13 +153,19 @@ class Polyline:
             start and the distance from *point* to that closest point.
         """
         p = as_vec(point)
-        a = self._points[:-1]
-        b = self._points[1:]
-        d = b - a
-        denom = (d * d).sum(axis=1)
-        denom_safe = np.where(denom == 0.0, 1.0, denom)
+        if self._proj is None:
+            # Per-segment arrays are invariants of the geometry; computing
+            # them once matters because the map matcher projects every
+            # sensor sighting of a simulation run.
+            a = self._points[:-1]
+            d = self._points[1:] - a
+            denom = (d * d).sum(axis=1)
+            degenerate = denom == 0.0
+            denom_safe = np.where(degenerate, 1.0, denom)
+            self._proj = (a, d, denom, denom_safe, degenerate)
+        a, d, denom, denom_safe, degenerate = self._proj
         t = ((p - a) * d).sum(axis=1) / denom_safe
-        t = np.clip(np.where(denom == 0.0, 0.0, t), 0.0, 1.0)
+        t = np.minimum(np.maximum(np.where(degenerate, 0.0, t), 0.0), 1.0)
         proj = a + d * t[:, None]
         delta = proj - p
         dist = np.hypot(delta[:, 0], delta[:, 1])

@@ -30,6 +30,13 @@ def as_vec(value: Vec2) -> np.ndarray:
     ValueError
         If *value* does not describe exactly two finite coordinates.
     """
+    if type(value) is np.ndarray and value.shape == (2,) and value.dtype == np.float64:
+        # Fast path for the simulation hot loops: already-normalised arrays
+        # skip the asarray dispatch, and the finiteness check degenerates to
+        # two scalar tests.
+        if math.isfinite(value[0]) and math.isfinite(value[1]):
+            return value
+        raise ValueError(f"coordinates must be finite, got {value!r}")
     arr = np.asarray(value, dtype=float)
     if arr.shape != (2,):
         raise ValueError(f"expected a 2-D point, got shape {arr.shape!r}")

@@ -188,6 +188,27 @@ class UpdateProtocol(abc.ABC):
         """Process one sensor sighting; return an update if one must be sent."""
         p = as_vec(position)
         velocity, speed = self.estimator.update(time, p)
+        return self._decide(time, p, velocity, speed)
+
+    def observe_precomputed(
+        self, time: float, position: Vec2, velocity: np.ndarray, speed: float
+    ) -> Optional[UpdateMessage]:
+        """Process a sighting whose speed/heading estimate is already known.
+
+        The simulation engine computes the sliding-window estimates for a
+        whole trace in one vectorised pass
+        (:func:`repro.traces.estimation.estimate_trace`, bitwise identical
+        to the streaming estimator) and feeds them here, skipping the
+        per-sighting estimator update.  The internal estimator window is
+        *not* advanced by this path; do not mix it with :meth:`observe`
+        within one trace.
+        """
+        return self._decide(time, as_vec(position), velocity, speed)
+
+    def _decide(
+        self, time: float, p: np.ndarray, velocity: np.ndarray, speed: float
+    ) -> Optional[UpdateMessage]:
+        """The shared decision core behind both observe paths."""
         self._pre_decision_hook(time, p, velocity, speed)
         if self._last_reported is None:
             reason: Optional[UpdateReason] = UpdateReason.INITIAL
@@ -257,6 +278,37 @@ class UpdateProtocol(abc.ABC):
         self._sequence = 0
         self._updates_sent = 0
         self._bytes_sent = 0
+
+    def clone_for(self, accuracy: Optional[float] = None) -> "UpdateProtocol":
+        """A fresh-state copy of this protocol, optionally with a new accuracy.
+
+        This is the sweep-reuse hook: expensive shared structure (road map,
+        routes, prediction geometry) is shared by reference, while the
+        mutable per-run components are replaced with fresh ones
+        (:meth:`_detach_clone_state`), so cloning never disturbs the
+        prototype — its estimator window, matcher state and statistics stay
+        exactly as they were.
+        """
+        import copy
+
+        if accuracy is not None and accuracy <= 0:
+            raise ValueError("accuracy (us) must be positive")
+        clone = copy.copy(self)
+        if accuracy is not None:
+            clone.accuracy = float(accuracy)
+        clone._detach_clone_state()
+        clone.reset()
+        return clone
+
+    def _detach_clone_state(self) -> None:
+        """Replace mutable components that ``copy.copy`` left shared.
+
+        Called on the clone before its reset so that neither the reset nor
+        the clone's subsequent run can touch the prototype's state.
+        Subclasses with extra mutable members (matchers, deques) extend
+        this; genuinely shared immutable structure stays by reference.
+        """
+        self.estimator = StateEstimator(window=self.estimator.window)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(us={self.accuracy:.0f} m)"

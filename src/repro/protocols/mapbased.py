@@ -221,6 +221,14 @@ class MapBasedProtocol(UpdateProtocol):
         """Counters of the underlying map matcher."""
         return self.matcher.statistics()
 
+    def _detach_clone_state(self) -> None:
+        super()._detach_clone_state()
+        # The matcher holds per-run tracking state and statistics; it is
+        # cheap to rebuild (the spatial index lives in the road map), so a
+        # clone gets its own instead of resetting the prototype's in place.
+        self.matcher = IncrementalMapMatcher(self.roadmap, self.config.matcher_config())
+        self._last_match = None
+
     def reset(self) -> None:
         super().reset()
         self.matcher.reset()

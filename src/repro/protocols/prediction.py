@@ -94,6 +94,14 @@ class QuadraticPrediction(PredictionFunction):
 class TurnPolicy(abc.ABC):
     """Chooses the outgoing link the object is assumed to follow at an intersection."""
 
+    #: Whether the choice depends only on the immutable map geometry.  When
+    #: ``True``, :class:`MapPrediction` memoises the chosen successor per
+    #: link, which turns the repeated link-walks of a simulation run into
+    #: dictionary lookups.  Policies whose choice can change between queries
+    #: (e.g. a turn-probability table that keeps learning) must leave this
+    #: ``False``.
+    stateless: bool = False
+
     @abc.abstractmethod
     def choose(self, roadmap: RoadMap, current: Link) -> Optional[Link]:
         """The successor of *current* the prediction should follow (or ``None``)."""
@@ -105,6 +113,8 @@ class SmallestAngleTurnPolicy(TurnPolicy):
     Ties are broken by link id so that source and server always make the
     same, deterministic choice.
     """
+
+    stateless = True
 
     def choose(self, roadmap: RoadMap, current: Link) -> Optional[Link]:
         successors = roadmap.successors(current)
@@ -124,6 +134,8 @@ class MainRoadTurnPolicy(TurnPolicy):
     road"; this policy implements that using the road-class priority stored
     in the map.
     """
+
+    stateless = True
 
     def choose(self, roadmap: RoadMap, current: Link) -> Optional[Link]:
         successors = roadmap.successors(current)
@@ -208,6 +220,40 @@ class MapPrediction(PredictionFunction):
         self.max_links_ahead = int(max_links_ahead)
         self.speed_limit_factor = speed_limit_factor
         self._linear = LinearPrediction()
+        self._turn_cache: Dict[int, Optional[Link]] = {}
+        # One-slot memo for repeated (state, time) queries: within one
+        # simulation step the source (deviation check) and the server
+        # (error measurement) ask for exactly the same prediction.
+        self._memo_state = None
+        self._memo_time: Optional[float] = None
+        self._memo_position: Optional[np.ndarray] = None
+
+    def _next_link(self, link: Link) -> Optional[Link]:
+        """The successor chosen by the turn policy, memoised when safe.
+
+        Stateless policies depend only on the (immutable) map, so the answer
+        per link never changes within a prediction function's lifetime.
+        """
+        if not self.turn_policy.stateless:
+            return self.turn_policy.choose(self.roadmap, link)
+        try:
+            return self._turn_cache[link.id]
+        except KeyError:
+            nxt = self.turn_policy.choose(self.roadmap, link)
+            self._turn_cache[link.id] = nxt
+            return nxt
+
+    def clear_turn_cache(self) -> None:
+        """Forget memoised turn choices and positions.
+
+        Only needed if the underlying road map or turn policy is ever
+        mutated in place; also drops the one-slot query memo so no stale
+        position can survive the invalidation.
+        """
+        self._turn_cache.clear()
+        self._memo_state = None
+        self._memo_time = None
+        self._memo_position = None
 
     def _assumed_speed(self, state, link: Link) -> float:
         """Speed the object is assumed to travel at on *link*."""
@@ -216,6 +262,15 @@ class MapPrediction(PredictionFunction):
         return min(state.speed, self.speed_limit_factor * link.speed_limit)
 
     def predict(self, state, time: float) -> np.ndarray:
+        if state is self._memo_state and time == self._memo_time:
+            return self._memo_position
+        position = self._predict_uncached(state, time)
+        self._memo_state = state
+        self._memo_time = time
+        self._memo_position = position
+        return position
+
+    def _predict_uncached(self, state, time: float) -> np.ndarray:
         if state.link_id is None or not self.roadmap.has_link(state.link_id):
             return self._linear.predict(state, time)
         link = self.roadmap.link(state.link_id)
@@ -228,7 +283,7 @@ class MapPrediction(PredictionFunction):
                 if remaining <= available:
                     return link.point_at(offset + remaining)
                 remaining -= available
-                nxt = self.turn_policy.choose(self.roadmap, link)
+                nxt = self._next_link(link)
                 if nxt is None:
                     # Dead end: the object is assumed to stop at the end of the link.
                     return link.point_at(link.length)
@@ -247,7 +302,7 @@ class MapPrediction(PredictionFunction):
             if remaining_time <= time_to_end:
                 return link.point_at(offset + speed * remaining_time)
             remaining_time -= time_to_end
-            nxt = self.turn_policy.choose(self.roadmap, link)
+            nxt = self._next_link(link)
             if nxt is None:
                 return link.point_at(link.length)
             link = nxt
@@ -269,7 +324,7 @@ class MapPrediction(PredictionFunction):
             if remaining <= available:
                 return link.id, offset + remaining
             remaining -= available
-            nxt = self.turn_policy.choose(self.roadmap, link)
+            nxt = self._next_link(link)
             if nxt is None:
                 return link.id, link.length
             link = nxt

@@ -103,6 +103,17 @@ class TimeBasedReporting(UpdateProtocol):
     def prediction_function(self) -> PredictionFunction:
         return self._prediction
 
+    def clone_for(self, accuracy=None) -> "TimeBasedReporting":
+        """Clone with the interval rescaled to the new accuracy.
+
+        The interval encodes ``us / v`` (see :meth:`for_speed`), so a clone
+        requested for a different accuracy keeps the implied object speed.
+        """
+        clone = super().clone_for(accuracy)
+        if accuracy is not None:
+            clone.interval = self.interval * (clone.accuracy / self.accuracy)
+        return clone
+
     def _should_update(
         self, time: float, position: np.ndarray, velocity: np.ndarray, speed: float
     ) -> Optional[UpdateReason]:

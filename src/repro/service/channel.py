@@ -74,12 +74,26 @@ class MessageChannel:
 
     def deliver_due(self, time: float) -> List[Tuple[str, UpdateMessage]]:
         """Pop every message whose delivery time has been reached."""
+        if not self._in_flight:
+            return []
         due = [entry for entry in self._in_flight if entry[0] <= time]
         if due:
             self._in_flight = [entry for entry in self._in_flight if entry[0] > time]
             self.stats.messages_delivered += len(due)
             self.stats.bytes_delivered += sum(m.size_bytes for _, _, m in due)
         return [(object_id, message) for _, object_id, message in sorted(due)]
+
+    def reset(self) -> None:
+        """Drop all in-flight messages and zero the statistics.
+
+        Simulations call this at run start so that a caller-supplied channel
+        cannot leak undelivered messages (or counters) from a previous run
+        into the next one.  The loss process RNG is deliberately left alone:
+        resetting it would make repeated runs over the same channel replay
+        the identical loss pattern instead of independent ones.
+        """
+        self._in_flight.clear()
+        self.stats = ChannelStats()
 
     @property
     def in_flight(self) -> int:

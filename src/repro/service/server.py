@@ -9,7 +9,7 @@ Fig. 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -91,6 +91,18 @@ class LocationServer:
     def predict_position(self, object_id: str, time: float) -> Optional[np.ndarray]:
         """The position the server assumes for *object_id* at *time*."""
         return self._objects[object_id].predict(time)
+
+    def predict_positions(
+        self, object_ids: Sequence[str], time: float
+    ) -> List[Optional[np.ndarray]]:
+        """Predicted positions for many objects at one query time.
+
+        The batch entry point the fleet simulation loop uses: one call per
+        simulation timestep instead of one per object.  Objects that have
+        not reported yet yield ``None`` at their position in the result.
+        """
+        objects = self._objects
+        return [objects[object_id].predict(time) for object_id in object_ids]
 
     def last_reported_state(self, object_id: str) -> Optional[ObjectState]:
         """The last update received for *object_id* (or ``None``)."""

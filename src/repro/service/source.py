@@ -48,6 +48,21 @@ class LocationSource:
             self._sent_messages.append(message)
         return message
 
+    def process_estimated(
+        self, time: float, position: Vec2, velocity, speed: float
+    ) -> Optional[UpdateMessage]:
+        """Sighting with a precomputed speed/heading estimate.
+
+        The fleet engine's fast path: estimates for the whole trace are
+        computed vectorised up front and handed to the protocol via
+        :meth:`~repro.protocols.base.UpdateProtocol.observe_precomputed`.
+        """
+        message = self.protocol.observe_precomputed(time, position, velocity, speed)
+        if message is not None:
+            self.channel.send(self.object_id, message, time)
+            self._sent_messages.append(message)
+        return message
+
     @property
     def sent_messages(self) -> List[UpdateMessage]:
         """Every update transmitted so far (in order)."""

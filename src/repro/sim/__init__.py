@@ -6,19 +6,51 @@ functionality for transmitting the location information between a source and
 a server.  Different variants of update protocols can be plugged into the
 simulator and be compared according to the number of updates transmitted and
 the resulting accuracy on the server."
+
+The package is layered so that every experiment entry point shares one
+execution core:
+
+``engine`` → ``fleet`` → ``runner``
+
+* :mod:`repro.sim.fleet` is the core: :class:`FleetSimulation` steps any
+  number of (object, protocol, trace) lanes through one time-ordered loop
+  against a single :class:`~repro.service.server.LocationServer`, with
+  vectorised speed/heading estimation and batched server queries.
+* :mod:`repro.sim.engine` keeps the classic single-object API:
+  :class:`ProtocolSimulation` is a one-lane façade over the fleet core, so
+  single runs and fleet runs are the same machinery by construction.
+* :mod:`repro.sim.runner` executes whole sweeps (scenario × protocol ×
+  accuracy grids) on top of the engine: per-process scenario caching,
+  pluggable serial / process-pool executors (``jobs=N``) with bit-identical
+  results regardless of the job count, and JSON/CSV artifact output.
+  :mod:`repro.sim.sweep` re-exports the thin historical wrappers.
+
+:mod:`repro.sim.metrics` collects error samples as NumPy arrays
+(:class:`AccuracyMetrics`), :mod:`repro.sim.config` declares runs as
+serialisable :class:`SimulationConfig` values.
 """
 
 from repro.sim.metrics import AccuracyMetrics, SimulationResult
 from repro.sim.engine import ProtocolSimulation, run_simulation
-from repro.sim.sweep import SweepPoint, run_accuracy_sweep
+from repro.sim.fleet import FleetLane, FleetResult, FleetSimulation, run_fleet
+from repro.sim.sweep import SweepPoint, run_accuracy_sweep, run_config_sweep
 from repro.sim.config import SimulationConfig
+from repro.sim.runner import ScenarioSpec, SweepRunner, SweepTask
 
 __all__ = [
     "AccuracyMetrics",
     "SimulationResult",
     "ProtocolSimulation",
     "run_simulation",
+    "FleetLane",
+    "FleetResult",
+    "FleetSimulation",
+    "run_fleet",
     "SweepPoint",
     "run_accuracy_sweep",
+    "run_config_sweep",
     "SimulationConfig",
+    "ScenarioSpec",
+    "SweepRunner",
+    "SweepTask",
 ]

@@ -5,6 +5,11 @@ an update protocol, transmits the resulting updates over a message channel
 to a location server, and measures the error between the server's predicted
 position and the ground truth at every sample — the paper's experimental
 setup (Sec. 4).
+
+Since the fleet refactor this is a thin single-lane façade over
+:class:`~repro.sim.fleet.FleetSimulation`: one object, one protocol, one
+trace, same semantics as before, same engine underneath as every other
+entry point.
 """
 
 from __future__ import annotations
@@ -12,14 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
-from repro.geo.vec import distance
-from repro.protocols.base import UpdateProtocol, UpdateReason
+from repro.protocols.base import UpdateProtocol
 from repro.service.channel import MessageChannel
-from repro.service.server import LocationServer
-from repro.service.source import LocationSource
-from repro.sim.metrics import AccuracyMetrics, SimulationResult
+from repro.sim.fleet import FleetLane, FleetSimulation
+from repro.sim.metrics import SimulationResult
 from repro.traces.trace import Trace
 
 
@@ -57,59 +58,19 @@ class ProtocolSimulation:
 
     def run(self) -> SimulationResult:
         """Execute the simulation and return the collected metrics."""
-        truth = self.truth_trace if self.truth_trace is not None else self.sensor_trace
-        if len(truth) != len(self.sensor_trace):
-            raise ValueError("sensor and truth traces must have the same length")
-        if not np.allclose(truth.times, self.sensor_trace.times):
-            raise ValueError("sensor and truth traces must share their timestamps")
-
-        channel = self.channel or MessageChannel()
-        server = LocationServer()
-        server.register_object(
-            self.object_id,
-            prediction=self.protocol.prediction_function(),
-            accuracy=self.protocol.accuracy,
+        fleet = FleetSimulation(
+            [
+                FleetLane(
+                    object_id=self.object_id,
+                    protocol=self.protocol,
+                    sensor_trace=self.sensor_trace,
+                    truth_trace=self.truth_trace,
+                    channel=self.channel,
+                )
+            ],
+            count_initial_update=self.count_initial_update,
         )
-        source = LocationSource(self.object_id, self.protocol, channel)
-
-        metrics = AccuracyMetrics()
-        metrics.set_bound(self.protocol.accuracy)
-        reasons: dict[str, int] = {}
-
-        times = self.sensor_trace.times
-        sensor_positions = self.sensor_trace.positions
-        truth_positions = truth.positions
-
-        for i in range(len(times)):
-            t = float(times[i])
-            message = source.process_sighting(t, sensor_positions[i])
-            if message is not None:
-                reasons[message.reason.value] = reasons.get(message.reason.value, 0) + 1
-            for obj_id, delivered in channel.deliver_due(t):
-                server.receive_update(obj_id, delivered, t)
-            predicted = server.predict_position(self.object_id, t)
-            if predicted is not None:
-                metrics.record(distance(predicted, truth_positions[i]))
-
-        updates = source.updates_sent
-        if not self.count_initial_update and updates > 0:
-            updates -= 1
-
-        matcher_stats = {}
-        matching_statistics = getattr(self.protocol, "matching_statistics", None)
-        if callable(matching_statistics):
-            matcher_stats = matching_statistics()
-
-        return SimulationResult(
-            protocol_name=self.protocol.name,
-            accuracy=self.protocol.accuracy,
-            duration_h=self.sensor_trace.duration / 3600.0,
-            updates=updates,
-            bytes_sent=self.protocol.bytes_sent,
-            metrics=metrics,
-            update_reasons=reasons,
-            matcher_stats=matcher_stats,
-        )
+        return fleet.run().results[self.object_id]
 
 
 def run_simulation(

@@ -1,0 +1,341 @@
+"""Fleet-scale simulation: many objects through one time-ordered loop.
+
+:class:`FleetSimulation` is the simulation core every experiment entry point
+ultimately runs on.  It steps any number of *lanes* — one (object, protocol,
+trace) combination each — through a single merged, time-ordered event loop
+against one shared :class:`~repro.service.server.LocationServer` and one (or
+several) :class:`~repro.service.channel.MessageChannel`\\ s, and collects one
+:class:`~repro.sim.metrics.SimulationResult` per object plus aggregates.
+
+Design properties the rest of the stack relies on:
+
+* **Equivalence** — because objects only interact through their own channel
+  and server record, a fleet run of N lanes produces exactly the same
+  per-object updates and error samples as N independent single-object runs
+  (for deterministic channels; a *shared* lossy channel draws its losses
+  from one RNG stream and therefore differs from N per-run RNGs).
+  :class:`~repro.sim.engine.ProtocolSimulation` delegates here with a single
+  lane, so the equivalence is structural, not coincidental.
+* **Vectorised hot path** — speed/heading estimates for each sensor trace
+  are precomputed in one batched pass
+  (:func:`repro.traces.estimation.estimate_trace`, bitwise identical to the
+  streaming estimator), server queries go through the batch
+  :meth:`~repro.service.server.LocationServer.predict_positions` API once
+  per timestep, and error samples are accumulated into
+  :class:`~repro.sim.metrics.AccuracyMetrics` as one array per lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.vec import distance
+from repro.protocols.base import UpdateProtocol
+from repro.service.channel import MessageChannel
+from repro.service.server import LocationServer
+from repro.service.source import LocationSource
+from repro.sim.metrics import AccuracyMetrics, SimulationResult
+from repro.traces.estimation import estimate_trace
+from repro.traces.trace import Trace
+
+
+@dataclass
+class FleetLane:
+    """One (object, protocol, trace) combination stepped by the fleet loop.
+
+    Parameters
+    ----------
+    object_id:
+        Identifier under which the object is registered at the server.
+    protocol:
+        The source-side update protocol; every lane needs its own instance
+        (protocols are stateful).
+    sensor_trace:
+        What the positioning sensor reports (noisy positions).
+    truth_trace:
+        Ground truth for the error measurement; the sensor trace doubles as
+        truth when omitted.  Must share the sensor trace's timestamps.
+    channel:
+        Source-to-server channel for this lane; lanes without one share the
+        fleet's default channel.
+    """
+
+    object_id: str
+    protocol: UpdateProtocol
+    sensor_trace: Trace
+    truth_trace: Optional[Trace] = None
+    channel: Optional[MessageChannel] = None
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet run: per-object results plus aggregates."""
+
+    results: Dict[str, SimulationResult]
+
+    @property
+    def object_ids(self) -> List[str]:
+        """Tracked object ids, in lane order."""
+        return list(self.results)
+
+    @property
+    def total_updates(self) -> int:
+        """Update messages summed over the whole fleet."""
+        return sum(r.updates for r in self.results.values())
+
+    @property
+    def total_bytes_sent(self) -> int:
+        """Update payload bytes summed over the whole fleet."""
+        return sum(r.bytes_sent for r in self.results.values())
+
+    @property
+    def object_hours(self) -> float:
+        """Total simulated object-hours (sum of lane durations)."""
+        return sum(r.duration_h for r in self.results.values())
+
+    @property
+    def updates_per_object_hour(self) -> float:
+        """Fleet-level headline metric: updates per simulated object-hour."""
+        hours = self.object_hours
+        return self.total_updates / hours if hours > 0 else 0.0
+
+    def aggregate_metrics(self) -> AccuracyMetrics:
+        """Error metrics pooled over every object of the fleet."""
+        pooled = AccuracyMetrics()
+        for result in self.results.values():
+            pooled.merge(result.metrics)
+        return pooled
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One flat dictionary per object (report / artifact form)."""
+        return [
+            {"object": object_id, **result.as_dict()}
+            for object_id, result in self.results.items()
+        ]
+
+
+class _LaneState:
+    """Run-time state of one lane inside the fleet loop."""
+
+    __slots__ = (
+        "lane", "channel", "source", "metrics", "reasons", "times",
+        "sensor_positions", "truth_positions", "velocities", "speeds",
+        "errors",
+    )
+
+    def __init__(self, lane: FleetLane, channel: MessageChannel):
+        truth = lane.truth_trace if lane.truth_trace is not None else lane.sensor_trace
+        if len(truth) != len(lane.sensor_trace):
+            raise ValueError("sensor and truth traces must have the same length")
+        if not np.allclose(truth.times, lane.sensor_trace.times):
+            raise ValueError("sensor and truth traces must share their timestamps")
+        self.lane = lane
+        self.channel = channel
+        self.source = LocationSource(lane.object_id, lane.protocol, channel)
+        self.metrics = AccuracyMetrics()
+        self.metrics.set_bound(lane.protocol.accuracy)
+        self.reasons: Dict[str, int] = {}
+        self.times = lane.sensor_trace.times
+        self.sensor_positions = lane.sensor_trace.positions
+        self.truth_positions = truth.positions
+        self.velocities, self.speeds = estimate_trace(
+            self.times, self.sensor_positions, lane.protocol.estimator.window
+        )
+        self.errors: List[float] = []
+
+    def process_sighting(self, i: int, t: float) -> None:
+        """Feed sample *i* to the protocol; transmit any resulting update."""
+        message = self.source.process_estimated(
+            t, self.sensor_positions[i], self.velocities[i], float(self.speeds[i])
+        )
+        if message is not None:
+            key = message.reason.value
+            self.reasons[key] = self.reasons.get(key, 0) + 1
+
+    def record_error(self, i: int, predicted: Optional[np.ndarray]) -> None:
+        """Measure the server's error against ground truth at sample *i*."""
+        if predicted is not None:
+            self.errors.append(distance(predicted, self.truth_positions[i]))
+
+    def finish(self, count_initial_update: bool) -> SimulationResult:
+        """Materialise this lane's :class:`SimulationResult`."""
+        self.metrics.record_batch(self.errors)
+        protocol = self.lane.protocol
+        updates = self.source.updates_sent
+        if not count_initial_update and updates > 0:
+            updates -= 1
+        matcher_stats = {}
+        matching_statistics = getattr(protocol, "matching_statistics", None)
+        if callable(matching_statistics):
+            matcher_stats = matching_statistics()
+        return SimulationResult(
+            protocol_name=protocol.name,
+            accuracy=protocol.accuracy,
+            duration_h=self.lane.sensor_trace.duration / 3600.0,
+            updates=updates,
+            bytes_sent=protocol.bytes_sent,
+            metrics=self.metrics,
+            update_reasons=self.reasons,
+            matcher_stats=matcher_stats,
+        )
+
+
+class FleetSimulation:
+    """Step many (object, protocol, trace) lanes through one merged loop.
+
+    Parameters
+    ----------
+    lanes:
+        The fleet's lanes.  Object ids must be unique and protocol instances
+        must not be shared between lanes.
+    channel:
+        Default channel shared by every lane that does not bring its own;
+        loss-free and instantaneous when omitted.
+    server:
+        The location server; a fresh one is created when omitted.
+    count_initial_update:
+        Whether each object's bootstrap update counts towards its update
+        total (the paper counts transmitted messages, so the default is
+        ``True``).
+    """
+
+    def __init__(
+        self,
+        lanes: Sequence[FleetLane],
+        channel: Optional[MessageChannel] = None,
+        server: Optional[LocationServer] = None,
+        count_initial_update: bool = True,
+    ):
+        lanes = list(lanes)
+        if not lanes:
+            raise ValueError("a fleet needs at least one lane")
+        ids = [lane.object_id for lane in lanes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("lane object ids must be unique")
+        protocols = {id(lane.protocol) for lane in lanes}
+        if len(protocols) != len(lanes):
+            raise ValueError("each lane needs its own protocol instance")
+        self.lanes = lanes
+        self.server = server if server is not None else LocationServer()
+        self.shared_channel = channel if channel is not None else MessageChannel()
+        self.count_initial_update = bool(count_initial_update)
+
+    def run(self) -> FleetResult:
+        """Execute the fleet simulation and return per-object results.
+
+        ``run()`` is one-shot: it registers every lane's object with the
+        server, so calling it again (or running a second fleet against the
+        same long-lived server with overlapping ids) is rejected here,
+        before any state is mutated.
+        """
+        server = self.server
+        already = [lane.object_id for lane in self.lanes if server.is_registered(lane.object_id)]
+        if already:
+            raise ValueError(
+                f"object ids already registered at the server: {already}; "
+                "FleetSimulation.run() is one-shot — build a new fleet (and "
+                "use unique ids) for another run"
+            )
+        # Build every lane state first: _LaneState validates the traces, so
+        # a bad lane raises before any lane has been registered or any
+        # channel drained.
+        states: List[_LaneState] = []
+        channels: List[MessageChannel] = []
+        for lane in self.lanes:
+            channel = lane.channel if lane.channel is not None else self.shared_channel
+            states.append(_LaneState(lane, channel))
+            if channel not in channels:
+                channels.append(channel)
+        for state in states:
+            server.register_object(
+                state.lane.object_id,
+                prediction=state.lane.protocol.prediction_function(),
+                accuracy=state.lane.protocol.accuracy,
+            )
+        # A caller-supplied channel may still carry undelivered messages
+        # from a previous run; drain everything before the clock starts.
+        for channel in channels:
+            channel.reset()
+
+        if len(states) == 1:
+            self._run_single(states[0])
+        else:
+            self._run_merged(states)
+
+        return FleetResult(
+            results={
+                state.lane.object_id: state.finish(self.count_initial_update)
+                for state in states
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # loop variants
+    # ------------------------------------------------------------------ #
+    def _run_single(self, state: _LaneState) -> None:
+        """Plain per-sample loop for a single lane (no merge overhead)."""
+        server = self.server
+        channel = state.channel
+        object_id = state.lane.object_id
+        for i, t in enumerate(state.times.tolist()):
+            state.process_sighting(i, t)
+            for obj_id, delivered in channel.deliver_due(t):
+                server.receive_update(obj_id, delivered, t)
+            state.record_error(i, server.predict_position(object_id, t))
+
+    def _run_merged(self, states: List[_LaneState]) -> None:
+        """Time-ordered merge of every lane's samples.
+
+        Events at the same timestamp are processed as one batch: all
+        sightings first, then all due channel deliveries, then one batched
+        position query for the objects sampled at that instant.  Per lane
+        this preserves exactly the single-run order (sight, deliver,
+        predict), which is what makes fleet results identical to
+        independent runs.
+        """
+        server = self.server
+        times_all = np.concatenate([state.times for state in states])
+        lane_ix = np.concatenate(
+            [np.full(len(state.times), n, dtype=np.intp) for n, state in enumerate(states)]
+        )
+        sample_ix = np.concatenate(
+            [np.arange(len(state.times), dtype=np.intp) for state in states]
+        )
+        order = np.lexsort((lane_ix, times_all))
+        t_sorted = times_all[order]
+        lane_sorted = lane_ix[order].tolist()
+        sample_sorted = sample_ix[order].tolist()
+        t_list = t_sorted.tolist()
+        # Boundaries of runs of identical timestamps.
+        starts = np.flatnonzero(np.r_[True, t_sorted[1:] != t_sorted[:-1]]).tolist()
+        starts.append(len(t_list))
+
+        for g in range(len(starts) - 1):
+            lo, hi = starts[g], starts[g + 1]
+            t = t_list[lo]
+            batch = [(states[lane_sorted[e]], sample_sorted[e]) for e in range(lo, hi)]
+            seen_channels: List[MessageChannel] = []
+            for state, i in batch:
+                state.process_sighting(i, t)
+                if state.channel not in seen_channels:
+                    seen_channels.append(state.channel)
+            for channel in seen_channels:
+                for obj_id, delivered in channel.deliver_due(t):
+                    server.receive_update(obj_id, delivered, t)
+            predicted = server.predict_positions(
+                [state.lane.object_id for state, _ in batch], t
+            )
+            for (state, i), position in zip(batch, predicted):
+                state.record_error(i, position)
+
+
+def run_fleet(
+    lanes: Sequence[FleetLane],
+    channel: Optional[MessageChannel] = None,
+    server: Optional[LocationServer] = None,
+) -> FleetResult:
+    """Convenience wrapper around :class:`FleetSimulation`."""
+    return FleetSimulation(lanes, channel=channel, server=server).run()

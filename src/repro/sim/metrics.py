@@ -2,47 +2,89 @@
 
 The paper's primary metric is the number of update messages per hour for a
 requested accuracy; the secondary one is the accuracy actually delivered at
-the server.  :class:`AccuracyMetrics` accumulates both, plus bandwidth, in a
-single pass (no per-sample Python objects are kept, only running sums and a
-reservoir for the error distribution).
+the server.  :class:`AccuracyMetrics` accumulates both, plus bandwidth.
+Error samples are stored as NumPy array chunks and every summary statistic
+is computed vectorised from the consolidated array, so recording a whole
+trace's worth of errors at once (:meth:`record_batch`, the fleet engine's
+path) costs one array append — and produces exactly the same statistics as
+recording the samples one by one.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+_EMPTY = np.zeros(0)
+
 
 class AccuracyMetrics:
-    """Streaming accumulator of server-side position error."""
+    """Accumulator of server-side position error samples."""
 
     def __init__(self) -> None:
-        self._count = 0
-        self._sum = 0.0
-        self._sum_sq = 0.0
-        self._max = 0.0
-        self._errors: List[float] = []
-        self._violations = 0
+        self._chunks: List[np.ndarray] = []
+        self._pending: List[float] = []
+        self._consolidated: Optional[np.ndarray] = None
         self._bound: Optional[float] = None
+        # Violations folded in via merge(); counted under each source's own
+        # bound, which is what makes mixed-accuracy fleet aggregates honest.
+        self._merged_violations = 0
 
     def set_bound(self, bound: float) -> None:
         """Define the accuracy bound used to count violations (``us``)."""
         self._bound = float(bound)
 
+    @property
+    def bound(self) -> Optional[float]:
+        """The configured accuracy bound ``us`` (or ``None``)."""
+        return self._bound
+
     def record(self, error: float) -> None:
         """Record one server-vs-truth position error sample (metres)."""
-        error = float(error)
-        self._count += 1
-        self._sum += error
-        self._sum_sq += error * error
-        if error > self._max:
-            self._max = error
-        self._errors.append(error)
-        if self._bound is not None and error > self._bound:
-            self._violations += 1
+        self._pending.append(float(error))
+        self._consolidated = None
+
+    def record_batch(self, errors) -> None:
+        """Record many error samples at once (the engine's vectorised path)."""
+        arr = np.array(errors, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        self._flush_pending()
+        self._chunks.append(arr)
+        self._consolidated = None
+
+    def merge(self, other: "AccuracyMetrics") -> None:
+        """Fold *other*'s samples into this accumulator (fleet aggregation).
+
+        The other accumulator's violations — counted under *its own* bound —
+        are carried over, so a bound-less pooled fleet metric reports the
+        fraction of samples that violated their respective object's
+        requested accuracy.  Setting a bound on the aggregate overrides
+        this: every pooled sample is then re-judged under that bound.
+        """
+        self.record_batch(other.errors)
+        self._merged_violations += other.violation_count
+
+    def _flush_pending(self) -> None:
+        if self._pending:
+            self._chunks.append(np.array(self._pending, dtype=float))
+            self._pending = []
+
+    @property
+    def errors(self) -> np.ndarray:
+        """All recorded error samples, in recording order."""
+        if self._consolidated is None:
+            self._flush_pending()
+            if not self._chunks:
+                self._consolidated = _EMPTY
+            elif len(self._chunks) == 1:
+                self._consolidated = self._chunks[0]
+            else:
+                self._consolidated = np.concatenate(self._chunks)
+                self._chunks = [self._consolidated]
+        return self._consolidated
 
     # ------------------------------------------------------------------ #
     # summary statistics
@@ -50,40 +92,62 @@ class AccuracyMetrics:
     @property
     def count(self) -> int:
         """Number of recorded samples."""
-        return self._count
+        return int(self.errors.size)
 
     @property
     def mean_error(self) -> float:
         """Mean position error in metres."""
-        return self._sum / self._count if self._count else 0.0
+        errors = self.errors
+        return float(errors.mean()) if errors.size else 0.0
 
     @property
     def rms_error(self) -> float:
         """Root-mean-square position error in metres."""
-        return math.sqrt(self._sum_sq / self._count) if self._count else 0.0
+        errors = self.errors
+        return float(np.sqrt((errors * errors).mean())) if errors.size else 0.0
 
     @property
     def max_error(self) -> float:
         """Maximum position error in metres."""
-        return self._max
+        errors = self.errors
+        return float(errors.max()) if errors.size else 0.0
 
     def percentile(self, q: float) -> float:
         """The *q*-th percentile (0-100) of the error distribution."""
-        if not self._errors:
+        errors = self.errors
+        if errors.size == 0:
             return 0.0
-        return float(np.percentile(np.array(self._errors), q))
+        return float(np.percentile(errors, q))
+
+    @property
+    def violation_count(self) -> int:
+        """Samples whose error exceeded the relevant accuracy bound.
+
+        With an own bound set, every sample — including merged ones — is
+        judged against it.  Without one, directly recorded samples are
+        unbounded (they cannot violate) and the count is the total carried
+        over from :meth:`merge`, where each source's samples were judged
+        under that source's own bound.
+        """
+        errors = self.errors
+        if errors.size == 0:
+            return 0
+        if self._bound is not None:
+            return int((errors > self._bound).sum())
+        return self._merged_violations
 
     @property
     def violation_fraction(self) -> float:
-        """Fraction of samples whose error exceeded the configured bound."""
-        if self._count == 0 or self._bound is None:
+        """Fraction of samples whose error exceeded the accuracy bound."""
+        errors = self.errors
+        if errors.size == 0:
             return 0.0
-        return self._violations / self._count
+        return self.violation_count / errors.size
 
     def as_dict(self) -> Dict[str, float]:
         """Summary dictionary used by reports."""
         return {
-            "samples": float(self._count),
+            "samples": float(self.count),
             "mean_error_m": self.mean_error,
             "rms_error_m": self.rms_error,
             "p95_error_m": self.percentile(95.0),

@@ -1,0 +1,339 @@
+"""The shared sweep runner behind every experiment entry point.
+
+A *sweep* is a list of independent simulation points (scenario × protocol ×
+requested accuracy).  :class:`SweepRunner` executes those points through a
+pluggable executor — serial by default, a
+:class:`~concurrent.futures.ProcessPoolExecutor` with ``jobs > 1`` — while
+guaranteeing that the result *sequence* is independent of the executor:
+points are deterministic, self-contained and returned in submission order,
+so ``jobs=1`` and ``jobs=N`` produce bit-identical results.
+
+Scenario construction (map generation, routing, journey simulation) is by
+far the most expensive part of a sweep, so scenarios are cached per process
+and keyed by :class:`ScenarioSpec`; a sweep generates its scenario once per
+process, not once per point.  Under the ``fork`` start method (the Linux
+default) workers additionally inherit the parent's cache for free; under
+``spawn`` each worker rebuilds its scenarios once from the spec.
+
+The runner also writes machine-readable artifacts (JSON and CSV) so
+figures, tables and ablations all leave greppable, diffable records behind.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.mobility.scenarios import Scenario, ScenarioName, build_scenario
+from repro.protocols.base import UpdateProtocol
+from repro.service.channel import MessageChannel
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import ProtocolSimulation
+from repro.sim.metrics import SimulationResult
+from repro.sim.sweep import SweepPoint
+
+
+# --------------------------------------------------------------------------- #
+# scenario specification and per-process cache
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable recipe for one of the canonical scenarios.
+
+    Workers rebuild (or, under ``fork``, inherit) the scenario from this
+    spec instead of shipping the multi-megabyte scenario object itself.
+    """
+
+    name: str
+    scale: float = 1.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", ScenarioName(self.name).value)
+        if not (0.0 < self.scale <= 1.0):
+            raise ValueError("scale must be in (0, 1]")
+
+    def build(self) -> Scenario:
+        """The (per-process cached) scenario this spec describes."""
+        return _cached_scenario(self)
+
+
+_SCENARIO_CACHE: Dict[ScenarioSpec, Scenario] = {}
+
+
+def _cached_scenario(spec: ScenarioSpec) -> Scenario:
+    scenario = _SCENARIO_CACHE.get(spec)
+    if scenario is None:
+        scenario = build_scenario(spec.name, seed=spec.seed, scale=spec.scale)
+        _SCENARIO_CACHE[spec] = scenario
+    return scenario
+
+
+def clear_scenario_cache() -> None:
+    """Drop the per-process scenario cache (tests needing fresh randomness)."""
+    _SCENARIO_CACHE.clear()
+
+
+# --------------------------------------------------------------------------- #
+# the unit of work
+# --------------------------------------------------------------------------- #
+def _simulate(
+    scenario: Scenario,
+    protocol: UpdateProtocol,
+    channel: Optional[MessageChannel] = None,
+) -> SimulationResult:
+    """The one engine invocation every runner entry point funnels through."""
+    return ProtocolSimulation(
+        protocol=protocol,
+        sensor_trace=scenario.sensor_trace,
+        truth_trace=scenario.true_trace,
+        channel=channel,
+    ).run()
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One sweep point: build the configured protocol, run it, measure it."""
+
+    scenario: ScenarioSpec
+    config: SimulationConfig
+
+    def run(self) -> SweepPoint:
+        """Execute this point in the current process."""
+        scenario = self.scenario.build()
+        result = _simulate(scenario, self.config.build_protocol(scenario))
+        return SweepPoint(accuracy=float(self.config.accuracy), result=result)
+
+
+def _run_task(task: SweepTask) -> SweepPoint:
+    """Module-level trampoline so tasks can cross process boundaries."""
+    return task.run()
+
+
+# --------------------------------------------------------------------------- #
+# the runner
+# --------------------------------------------------------------------------- #
+#: Executor factories selectable by name.
+EXECUTORS: Dict[str, Callable[[int], Executor]] = {
+    "process": lambda jobs: ProcessPoolExecutor(max_workers=jobs),
+    "thread": lambda jobs: ThreadPoolExecutor(max_workers=jobs),
+}
+
+
+class SweepRunner:
+    """Executes sweep points and emits artifacts.
+
+    Parameters
+    ----------
+    jobs:
+        Number of parallel workers; ``1`` runs everything in-process.
+    executor:
+        ``"process"`` (default), ``"thread"``, or a callable mapping a job
+        count to a :class:`concurrent.futures.Executor` — the pluggable
+        seam for future schedulers (clusters, async backends).
+    artifact_dir:
+        When set, :meth:`write_artifacts` resolves relative names here.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        executor: Union[str, Callable[[int], Executor]] = "process",
+        artifact_dir: Optional[str] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if isinstance(executor, str):
+            if executor not in EXECUTORS:
+                raise ValueError(
+                    f"unknown executor {executor!r}; expected one of {sorted(EXECUTORS)}"
+                )
+            executor = EXECUTORS[executor]
+        self.jobs = int(jobs)
+        self.executor_factory = executor
+        self.artifact_dir = artifact_dir
+        self._pool: Optional[Executor] = None
+
+    # ------------------------------------------------------------------ #
+    # worker pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _get_pool(self) -> Executor:
+        """The lazily created, persistent worker pool.
+
+        Keeping the pool alive across sweeps amortises worker start-up over
+        every sweep a runner executes (a figure is several sweeps; a report
+        is several figures).  Under the ``fork`` start method, scenarios
+        built before the first parallel call are inherited by the workers;
+        otherwise (or for later specs) each worker rebuilds them once from
+        their (cached) :class:`ScenarioSpec`.
+        """
+        if self._pool is None:
+            self._pool = self.executor_factory(self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial runners)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        if getattr(self, "_pool", None) is not None:
+            self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------ #
+    # scenario access
+    # ------------------------------------------------------------------ #
+    def scenario(self, spec: Union[ScenarioSpec, str], scale: float = 1.0,
+                 seed: Optional[int] = None) -> Scenario:
+        """The cached scenario for *spec* (or a name + scale + seed)."""
+        if not isinstance(spec, ScenarioSpec):
+            spec = ScenarioSpec(name=str(spec), scale=scale, seed=seed)
+        return spec.build()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run_tasks(self, tasks: Sequence[SweepTask]) -> List[SweepPoint]:
+        """Execute *tasks*, returning points in task order.
+
+        The order (and every result bit) is identical for any job count:
+        tasks are independent, deterministic, and collected in submission
+        order.
+        """
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [task.run() for task in tasks]
+        # Warm the local cache so fork-started workers inherit built
+        # scenarios instead of regenerating them (a no-op cost otherwise:
+        # the spec-keyed cache already holds any scenario this sweep used).
+        for spec in dict.fromkeys(task.scenario for task in tasks):
+            spec.build()
+        return list(self._get_pool().map(_run_task, tasks))
+
+    def run_config_sweep(
+        self,
+        scenario: Union[ScenarioSpec, Scenario],
+        protocol_id: str,
+        accuracies: Optional[Sequence[float]] = None,
+        **config_kwargs,
+    ) -> List[SweepPoint]:
+        """Sweep one protocol id over the requested accuracies.
+
+        Accepts either a :class:`ScenarioSpec` (parallelisable across
+        processes) or an already-built :class:`Scenario` (runs in-process).
+        """
+        if isinstance(scenario, ScenarioSpec):
+            us_values = accuracies if accuracies is not None else scenario.build().us_values
+            tasks = [
+                SweepTask(
+                    scenario=scenario,
+                    config=SimulationConfig(
+                        protocol_id=protocol_id, accuracy=float(us), **config_kwargs
+                    ),
+                )
+                for us in us_values
+            ]
+            return self.run_tasks(tasks)
+        return self.run_factory_sweep(
+            scenario,
+            lambda us: SimulationConfig(
+                protocol_id=protocol_id, accuracy=us, **config_kwargs
+            ).build_protocol(scenario),
+            accuracies,
+        )
+
+    def run_factory_sweep(
+        self,
+        scenario: Scenario,
+        protocol_factory: Callable[[float], UpdateProtocol],
+        accuracies: Optional[Sequence[float]] = None,
+    ) -> List[SweepPoint]:
+        """Sweep an arbitrary (not necessarily picklable) protocol factory.
+
+        Runs in-process regardless of ``jobs``, since closures over built
+        scenarios cannot cross process boundaries.
+        """
+        points: List[SweepPoint] = []
+        for us in accuracies if accuracies is not None else scenario.us_values:
+            result = _simulate(scenario, protocol_factory(float(us)))
+            points.append(SweepPoint(accuracy=float(us), result=result))
+        return points
+
+    def run_protocol_sweep(
+        self,
+        scenario: Scenario,
+        prototype: UpdateProtocol,
+        accuracies: Optional[Sequence[float]] = None,
+    ) -> List[SweepPoint]:
+        """Sweep a prototype protocol via its ``clone_for`` reuse hook.
+
+        Expensive protocol structure (map-matcher index, routes) is built
+        once and shared by every point instead of once per point.
+        """
+        return self.run_factory_sweep(
+            scenario, lambda us: prototype.clone_for(us), accuracies
+        )
+
+    def run_single(
+        self,
+        scenario: Scenario,
+        protocol: UpdateProtocol,
+        channel: Optional[MessageChannel] = None,
+    ) -> SimulationResult:
+        """One protocol over one scenario (the ablation studies' unit)."""
+        return _simulate(scenario, protocol, channel)
+
+    # ------------------------------------------------------------------ #
+    # artifacts
+    # ------------------------------------------------------------------ #
+    def write_artifacts(
+        self,
+        points: Sequence[SweepPoint],
+        name: str,
+        out_dir: Optional[str] = None,
+        formats: Sequence[str] = ("json", "csv"),
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, str]:
+        """Write the sweep's rows as machine-readable artifacts.
+
+        Returns a mapping ``format -> written path``.  The JSON artifact
+        carries the row dictionaries plus free-form *metadata*; the CSV
+        holds the same rows for spreadsheet / pandas consumption.
+        """
+        out_dir = out_dir or self.artifact_dir or "."
+        os.makedirs(out_dir, exist_ok=True)
+        rows = [point.result.as_dict() for point in points]
+        written: Dict[str, str] = {}
+        for fmt in formats:
+            if fmt == "json":
+                path = os.path.join(out_dir, f"{name}.json")
+                payload = {"name": name, "metadata": metadata or {}, "points": rows}
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            elif fmt == "csv":
+                path = os.path.join(out_dir, f"{name}.csv")
+                fieldnames: List[str] = []
+                for row in rows:
+                    for key in row:
+                        if key not in fieldnames:
+                            fieldnames.append(key)
+                with open(path, "w", encoding="utf-8", newline="") as fh:
+                    writer = csv.DictWriter(fh, fieldnames=fieldnames)
+                    writer.writeheader()
+                    writer.writerows(rows)
+            else:
+                raise ValueError(f"unknown artifact format {fmt!r}")
+            written[fmt] = path
+        return written

@@ -4,18 +4,23 @@ The paper's figures plot updates per hour against the accuracy requested at
 the server (20-500 m for cars, 20-250 m for a walking person), one curve per
 protocol.  :func:`run_accuracy_sweep` produces exactly those curves for one
 scenario and one protocol configuration.
+
+Both functions are thin wrappers over :class:`~repro.sim.runner.SweepRunner`
+(the shared execution layer with caching, parallel executors and artifact
+output); pass a configured runner to parallelise or to reuse its caches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.mobility.scenarios import Scenario
 from repro.protocols.base import UpdateProtocol
-from repro.sim.config import SimulationConfig
-from repro.sim.engine import ProtocolSimulation
 from repro.sim.metrics import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.sim.runner import SweepRunner
 
 
 @dataclass(frozen=True)
@@ -31,10 +36,19 @@ class SweepPoint:
         return self.result.updates_per_hour
 
 
+def _default_runner(runner: Optional["SweepRunner"]) -> "SweepRunner":
+    if runner is not None:
+        return runner
+    from repro.sim.runner import SweepRunner
+
+    return SweepRunner()
+
+
 def run_accuracy_sweep(
     scenario: Scenario,
     protocol_factory: Callable[[float], UpdateProtocol],
     accuracies: Optional[Sequence[float]] = None,
+    runner: Optional["SweepRunner"] = None,
 ) -> List[SweepPoint]:
     """Run *protocol_factory* over every requested accuracy of the scenario.
 
@@ -46,32 +60,25 @@ def run_accuracy_sweep(
     protocol_factory:
         Callable mapping a requested accuracy ``us`` to a fresh protocol
         instance.  A fresh instance per point is required because protocols
-        are stateful.
+        are stateful (see :meth:`~repro.protocols.base.UpdateProtocol.clone_for`
+        for the cheap way to produce one).
     accuracies:
         Override of the accuracy values; defaults to the scenario's sweep.
+    runner:
+        The :class:`~repro.sim.runner.SweepRunner` to execute on; a default
+        serial runner is used when omitted.
     """
-    points: List[SweepPoint] = []
-    for us in accuracies if accuracies is not None else scenario.us_values:
-        protocol = protocol_factory(float(us))
-        result = ProtocolSimulation(
-            protocol=protocol,
-            sensor_trace=scenario.sensor_trace,
-            truth_trace=scenario.true_trace,
-        ).run()
-        points.append(SweepPoint(accuracy=float(us), result=result))
-    return points
+    return _default_runner(runner).run_factory_sweep(scenario, protocol_factory, accuracies)
 
 
 def run_config_sweep(
     scenario: Scenario,
     protocol_id: str,
     accuracies: Optional[Sequence[float]] = None,
+    runner: Optional["SweepRunner"] = None,
     **config_kwargs,
 ) -> List[SweepPoint]:
     """Sweep a protocol identified by its :class:`SimulationConfig` id."""
-
-    def factory(us: float) -> UpdateProtocol:
-        config = SimulationConfig(protocol_id=protocol_id, accuracy=us, **config_kwargs)
-        return config.build_protocol(scenario)
-
-    return run_accuracy_sweep(scenario, factory, accuracies)
+    return _default_runner(runner).run_config_sweep(
+        scenario, protocol_id, accuracies, **config_kwargs
+    )

@@ -38,6 +38,7 @@ class GridIndex(SpatialIndex[T]):
         self.cell_size = float(cell_size)
         self._cells: Dict[Tuple[int, int], List[IndexedItem[T]]] = defaultdict(list)
         self._items: List[IndexedItem[T]] = []
+        self._occupied: Optional[Tuple[int, int, int, int]] = None
         if items is not None:
             for item in items:
                 self.insert(item)
@@ -48,6 +49,17 @@ class GridIndex(SpatialIndex[T]):
     def insert(self, item: IndexedItem[T]) -> None:
         """Register *item* with every grid cell its bounding box overlaps."""
         self._items.append(item)
+        min_cx, min_cy = self._cell_of(item.bounds.min_x, item.bounds.min_y)
+        max_cx, max_cy = self._cell_of(item.bounds.max_x, item.bounds.max_y)
+        if self._occupied is None:
+            self._occupied = (min_cx, min_cy, max_cx, max_cy)
+        else:
+            o = self._occupied
+            self._occupied = (
+                min(o[0], min_cx), min(o[1], min_cy), max(o[2], max_cx), max(o[3], max_cy)
+            )
+        # The occupied extent now covers the item, so the clamp in
+        # _cells_for_box is an identity here.
         for cell in self._cells_for_box(item.bounds):
             self._cells[cell].append(item)
 
@@ -65,6 +77,10 @@ class GridIndex(SpatialIndex[T]):
                     out.append(item)
         return out
 
+    def items(self) -> List[IndexedItem[T]]:
+        """Every stored item, in insertion order."""
+        return list(self._items)
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -75,8 +91,19 @@ class GridIndex(SpatialIndex[T]):
         return (int(math.floor(x / self.cell_size)), int(math.floor(y / self.cell_size)))
 
     def _cells_for_box(self, box: BoundingBox) -> Iterable[Tuple[int, int]]:
+        """Occupied-range-clamped cell coordinates covering *box*.
+
+        Clamping to the occupied extent keeps arbitrarily large query boxes
+        (e.g. an expanding nearest-neighbour search) from enumerating
+        billions of empty cells.
+        """
+        if self._occupied is None:
+            return
         min_cx, min_cy = self._cell_of(box.min_x, box.min_y)
         max_cx, max_cy = self._cell_of(box.max_x, box.max_y)
+        occ_min_cx, occ_min_cy, occ_max_cx, occ_max_cy = self._occupied
+        min_cx, min_cy = max(min_cx, occ_min_cx), max(min_cy, occ_min_cy)
+        max_cx, max_cy = min(max_cx, occ_max_cx), min(max_cy, occ_max_cy)
         for cx in range(min_cx, max_cx + 1):
             for cy in range(min_cy, max_cy + 1):
                 yield (cx, cy)

@@ -17,6 +17,10 @@ from repro.geo.vec import Vec2, as_vec
 
 T = TypeVar("T", bound=Hashable)
 
+#: Radius beyond which :meth:`SpatialIndex.nearest` stops growing its query
+#: box and falls back to one exhaustive scan of all items.
+_EXHAUSTIVE_SCAN_RADIUS = 1e9
+
 
 @dataclass(frozen=True)
 class IndexedItem(Generic[T]):
@@ -49,6 +53,10 @@ class SpatialIndex(abc.ABC, Generic[T]):
     @abc.abstractmethod
     def query_bbox(self, box: BoundingBox) -> list[IndexedItem[T]]:
         """All items whose bounding boxes intersect *box*."""
+
+    @abc.abstractmethod
+    def items(self) -> list[IndexedItem[T]]:
+        """Every stored item (used by exhaustive fallback scans)."""
 
     @abc.abstractmethod
     def __len__(self) -> int:
@@ -86,8 +94,8 @@ class SpatialIndex(abc.ABC, Generic[T]):
             return None
         if max_distance is not None and max_distance <= 0:
             return None
-        radius = self._initial_radius() if max_distance is None else max_distance
-        limit = max_distance if max_distance is not None else float("inf")
+        limit = float(max_distance) if max_distance is not None else float("inf")
+        radius = min(self._initial_radius(), limit)
         best: Optional[tuple[IndexedItem[T], float]] = None
         while True:
             candidates = self.query_bbox(BoundingBox.around(p, radius))
@@ -96,12 +104,16 @@ class SpatialIndex(abc.ABC, Generic[T]):
                 if d <= limit and (best is None or d < best[1]):
                     best = (item, d)
             if best is not None and best[1] <= radius:
+                # Nothing outside the searched box can be closer.
                 return best
-            if radius >= limit:
+            if radius >= limit or len(candidates) == len(self):
+                # The whole allowed region (or the whole index) was examined.
                 return best
-            radius = min(radius * 4.0, limit if limit != float("inf") else radius * 4.0)
-            if radius > 1e9:  # pathological fallback: scanned everything
-                return best
+            if radius >= _EXHAUSTIVE_SCAN_RADIUS:
+                # Pathological geometry (items astronomically far away):
+                # give up on box growth and scan every item exactly once.
+                return brute_force_nearest(self.items(), p, limit=limit)
+            radius = min(radius * 4.0, limit)
 
     def k_nearest(
         self, point: Vec2, k: int, max_distance: Optional[float] = None
@@ -130,13 +142,17 @@ class SpatialIndex(abc.ABC, Generic[T]):
 
 
 def brute_force_nearest(
-    items: Sequence[IndexedItem[T]], point: Vec2
+    items: Sequence[IndexedItem[T]], point: Vec2, limit: float = float("inf")
 ) -> Optional[tuple[IndexedItem[T], float]]:
-    """Reference O(n) nearest-item search used by tests to validate indexes."""
+    """Reference O(n) nearest-item search (tests, exhaustive fallbacks).
+
+    Items farther than *limit* are ignored entirely, matching the
+    ``max_distance`` contract of :meth:`SpatialIndex.nearest`.
+    """
     p = as_vec(point)
     best: Optional[tuple[IndexedItem[T], float]] = None
     for item in items:
         d = item.distance(p)
-        if best is None or d < best[1]:
+        if d <= limit and (best is None or d < best[1]):
             best = (item, d)
     return best

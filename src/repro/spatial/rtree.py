@@ -126,6 +126,10 @@ class STRtree(SpatialIndex[T]):
                 out.append(item)
         return out
 
+    def items(self) -> List[IndexedItem[T]]:
+        """Every stored item (tree-packed plus overflow), in insertion order."""
+        return list(self._items)
+
     def __len__(self) -> int:
         return len(self._items)
 

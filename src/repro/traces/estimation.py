@@ -35,17 +35,70 @@ def estimate_velocity(
     if len(times) < 2:
         return np.zeros(2), 0.0
     t = times - times[-1]
-    # Least squares slope per axis: cov(t, x) / var(t)
+    # Least squares slope per axis: cov(t, x) / var(t).  The sums are written
+    # as elementwise products reduced with ``sum`` so that the batched
+    # implementation in :func:`estimate_trace` performs bitwise-identical
+    # arithmetic row by row.
     t_mean = t.mean()
     t_centered = t - t_mean
-    denom = float(t_centered @ t_centered)
+    denom = float((t_centered * t_centered).sum())
     if denom == 0.0:
         return np.zeros(2), 0.0
-    vx = float(t_centered @ (positions[:, 0] - positions[:, 0].mean())) / denom
-    vy = float(t_centered @ (positions[:, 1] - positions[:, 1].mean())) / denom
+    vx = float((t_centered * (positions[:, 0] - positions[:, 0].mean())).sum()) / denom
+    vy = float((t_centered * (positions[:, 1] - positions[:, 1].mean())).sum()) / denom
     velocity = np.array([vx, vy])
     speed = float(np.hypot(vx, vy))
     return velocity, speed
+
+
+def estimate_trace(
+    times: np.ndarray, positions: np.ndarray, window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sliding-window estimates for every sample of a whole trace at once.
+
+    Returns ``(velocities, speeds)`` with shapes ``(n, 2)`` and ``(n,)``:
+    exactly what feeding the samples one by one through a
+    :class:`StateEstimator` with the same *window* would produce, but
+    computed with batched NumPy operations.  The fixed-size windows (every
+    index from ``window - 1`` on) are evaluated in one vectorised pass whose
+    arithmetic matches :func:`estimate_velocity` operation for operation, so
+    the results are bitwise identical to the streaming estimator — the
+    simulation engine relies on that to keep its fast path equivalent to the
+    per-sighting protocol API.
+    """
+    if window < 2:
+        raise ValueError("window must be at least 2")
+    times = np.asarray(times, dtype=float)
+    positions = np.asarray(positions, dtype=float)
+    n = len(times)
+    velocities = np.zeros((n, 2))
+    speeds = np.zeros(n)
+    if n < 2:
+        return velocities, speeds
+    w = int(window)
+    # Ramp-up: the first sightings see growing windows of size 2 .. w - 1.
+    for i in range(1, min(w - 1, n)):
+        velocities[i], speeds[i] = estimate_velocity(times[: i + 1], positions[: i + 1])
+    if n < w:
+        return velocities, speeds
+    from numpy.lib.stride_tricks import sliding_window_view
+
+    tw = np.ascontiguousarray(sliding_window_view(times, w))
+    xw = np.ascontiguousarray(sliding_window_view(positions[:, 0], w))
+    yw = np.ascontiguousarray(sliding_window_view(positions[:, 1], w))
+    t_rel = tw - tw[:, -1:]
+    t_centered = t_rel - t_rel.mean(axis=1, keepdims=True)
+    denom = (t_centered * t_centered).sum(axis=1)
+    ok = denom != 0.0
+    denom_safe = np.where(ok, denom, 1.0)
+    vx = (t_centered * (xw - xw.mean(axis=1, keepdims=True))).sum(axis=1) / denom_safe
+    vy = (t_centered * (yw - yw.mean(axis=1, keepdims=True))).sum(axis=1) / denom_safe
+    vx = np.where(ok, vx, 0.0)
+    vy = np.where(ok, vy, 0.0)
+    velocities[w - 1 :, 0] = vx
+    velocities[w - 1 :, 1] = vy
+    speeds[w - 1 :] = np.hypot(vx, vy)
+    return velocities, speeds
 
 
 class StateEstimator:

@@ -73,6 +73,40 @@ class TestCommands:
         assert "Figure 10" in out
         assert "updates/h" in out
 
+    def test_sweep_writes_artifacts(self, tmp_path, capsys):
+        assert cli.main(
+            [
+                "sweep", "--scenario", "walking", "--protocol", "linear",
+                "--scale", "0.1", "--accuracies", "100,200",
+                "--out-dir", str(tmp_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "linear sweep on walking" in out
+        payload = json.loads((tmp_path / "sweep_walking_linear.json").read_text())
+        assert [row["us_m"] for row in payload["points"]] == [100.0, 200.0]
+        assert (tmp_path / "sweep_walking_linear.csv").exists()
+
+    def test_sweep_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["sweep", "--scenario", "city", "--protocol", "xyz"])
+
+    @pytest.mark.parametrize("bad", ["abc", "", "0,-50", "100,"])
+    def test_sweep_rejects_bad_accuracies(self, bad):
+        args = ["sweep", "--scenario", "city", "--protocol", "linear", "--accuracies", bad]
+        if bad == "100,":  # trailing comma is tolerated, not an error
+            parsed = cli.build_parser().parse_args(args)
+            assert parsed.accuracies == [100.0]
+        else:
+            with pytest.raises(SystemExit):
+                cli.build_parser().parse_args(args)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(
+                ["figure", "7", "--jobs", "0"]
+            )
+
     def test_ablation_speedlimit(self, capsys):
         assert cli.main(
             ["ablation", "speedlimit", "--scenario", "walking", "--scale", "0.1"]

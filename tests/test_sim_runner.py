@@ -1,0 +1,175 @@
+"""Tests for the sweep runner: executors, determinism, caching, artifacts."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.protocols.linear import LinearPredictionProtocol
+from repro.protocols.reporting import TimeBasedReporting
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import ScenarioSpec, SweepRunner, SweepTask
+from repro.sim.sweep import run_accuracy_sweep, run_config_sweep
+
+FREEWAY = ScenarioSpec(name="freeway", scale=0.05, seed=0)
+CITY = ScenarioSpec(name="city", scale=0.07, seed=2)
+ACCURACIES = [50.0, 100.0, 200.0]
+
+
+def _assert_points_bit_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for a, b in zip(serial, parallel):
+        assert a.accuracy == b.accuracy
+        assert a.result.protocol_name == b.result.protocol_name
+        assert a.result.updates == b.result.updates
+        assert a.result.bytes_sent == b.result.bytes_sent
+        assert a.result.update_reasons == b.result.update_reasons
+        assert a.result.duration_h == b.result.duration_h
+        assert a.updates_per_hour == b.updates_per_hour
+        assert np.array_equal(a.result.metrics.errors, b.result.metrics.errors)
+
+
+class TestScenarioSpec:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="atlantis")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="freeway", scale=0.0)
+
+    def test_build_is_cached(self):
+        assert FREEWAY.build() is FREEWAY.build()
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        task = SweepTask(
+            scenario=FREEWAY, config=SimulationConfig(protocol_id="linear", accuracy=100.0)
+        )
+        assert pickle.loads(pickle.dumps(task)) == task
+
+
+class TestExecutorEquivalence:
+    """Satellite: jobs=1 and jobs=4 must produce bit-identical sequences."""
+
+    @pytest.mark.parametrize("spec", [FREEWAY, CITY], ids=["freeway", "city"])
+    def test_serial_vs_parallel_identical(self, spec):
+        serial = SweepRunner(jobs=1).run_config_sweep(spec, "linear", ACCURACIES)
+        parallel = SweepRunner(jobs=4).run_config_sweep(spec, "linear", ACCURACIES)
+        _assert_points_bit_identical(serial, parallel)
+
+    @pytest.mark.parametrize("spec", [FREEWAY, CITY], ids=["freeway", "city"])
+    def test_serial_vs_parallel_identical_map_protocol(self, spec):
+        serial = SweepRunner(jobs=1).run_config_sweep(spec, "map", [100.0, 200.0])
+        parallel = SweepRunner(jobs=4).run_config_sweep(spec, "map", [100.0, 200.0])
+        _assert_points_bit_identical(serial, parallel)
+
+    def test_thread_executor_identical(self):
+        serial = SweepRunner(jobs=1).run_config_sweep(FREEWAY, "linear", ACCURACIES)
+        threaded = SweepRunner(jobs=2, executor="thread").run_config_sweep(
+            FREEWAY, "linear", ACCURACIES
+        )
+        _assert_points_bit_identical(serial, threaded)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=2, executor="quantum")
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+class TestSweepWrappers:
+    def test_config_sweep_wrapper_accepts_runner(self, tiny_freeway_scenario):
+        points = run_config_sweep(
+            tiny_freeway_scenario, "linear", ACCURACIES, runner=SweepRunner()
+        )
+        assert [p.accuracy for p in points] == ACCURACIES
+
+    def test_factory_sweep_defaults_to_scenario_us_values(self, tiny_freeway_scenario):
+        points = run_accuracy_sweep(
+            tiny_freeway_scenario,
+            lambda us: LinearPredictionProtocol(accuracy=us),
+        )
+        assert [p.accuracy for p in points] == tiny_freeway_scenario.us_values
+
+
+class TestCloneForSweeps:
+    """Satellite: the clone_for reuse hook must match fresh-instance sweeps."""
+
+    def test_linear_clone_sweep_matches_fresh(self, tiny_freeway_scenario):
+        scenario = tiny_freeway_scenario
+        runner = SweepRunner()
+        fresh = runner.run_factory_sweep(
+            scenario,
+            lambda us: LinearPredictionProtocol(
+                us, scenario.sensor_sigma, scenario.estimation_window
+            ),
+            ACCURACIES,
+        )
+        prototype = LinearPredictionProtocol(
+            ACCURACIES[0], scenario.sensor_sigma, scenario.estimation_window
+        )
+        cloned = runner.run_protocol_sweep(scenario, prototype, ACCURACIES)
+        _assert_points_bit_identical(fresh, cloned)
+
+    def test_map_clone_sweep_matches_fresh(self, tiny_freeway_scenario):
+        scenario = tiny_freeway_scenario
+        runner = SweepRunner()
+
+        def fresh_protocol(us):
+            return SimulationConfig(protocol_id="map", accuracy=us).build_protocol(scenario)
+
+        fresh = runner.run_factory_sweep(scenario, fresh_protocol, ACCURACIES)
+        cloned = runner.run_protocol_sweep(
+            scenario, fresh_protocol(ACCURACIES[0]), ACCURACIES
+        )
+        _assert_points_bit_identical(fresh, cloned)
+
+    def test_clone_for_rejects_bad_accuracy(self):
+        with pytest.raises(ValueError):
+            LinearPredictionProtocol(accuracy=100.0).clone_for(0.0)
+
+    def test_clone_for_rescales_time_interval(self):
+        prototype = TimeBasedReporting.for_speed(accuracy=100.0, expected_speed=20.0)
+        clone = prototype.clone_for(200.0)
+        assert clone.accuracy == 200.0
+        assert clone.interval == pytest.approx(200.0 / 20.0)
+
+    def test_map_clone_shares_heavy_structure(self, tiny_freeway_scenario):
+        prototype = SimulationConfig(protocol_id="map", accuracy=100.0).build_protocol(
+            tiny_freeway_scenario
+        )
+        clone = prototype.clone_for(250.0)
+        # Heavy immutable structure is shared; per-run state is detached.
+        assert clone.roadmap is prototype.roadmap
+        assert clone.prediction_function() is prototype.prediction_function()
+        assert clone.matcher is not prototype.matcher
+        assert clone.estimator is not prototype.estimator
+        assert clone.accuracy == 250.0
+        assert prototype.accuracy == 100.0
+
+
+class TestArtifacts:
+    def test_json_and_csv_artifacts(self, tmp_path):
+        runner = SweepRunner()
+        points = runner.run_config_sweep(FREEWAY, "linear", ACCURACIES)
+        written = runner.write_artifacts(
+            points, "freeway_linear", out_dir=str(tmp_path), metadata={"scale": 0.05}
+        )
+        payload = json.loads((tmp_path / "freeway_linear.json").read_text())
+        assert payload["name"] == "freeway_linear"
+        assert payload["metadata"] == {"scale": 0.05}
+        assert [row["us_m"] for row in payload["points"]] == ACCURACIES
+        with open(written["csv"], newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(points)
+        assert [float(row["us_m"]) for row in rows] == ACCURACIES
+
+    def test_unknown_format_rejected(self, tmp_path):
+        runner = SweepRunner()
+        with pytest.raises(ValueError):
+            runner.write_artifacts([], "x", out_dir=str(tmp_path), formats=("yaml",))

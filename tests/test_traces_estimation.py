@@ -3,7 +3,52 @@
 import numpy as np
 import pytest
 
-from repro.traces.estimation import StateEstimator, estimate_velocity, recommended_window
+from repro.traces.estimation import (
+    StateEstimator,
+    estimate_trace,
+    estimate_velocity,
+    recommended_window,
+)
+
+
+class TestEstimateTrace:
+    """The batched estimator must be bitwise identical to the streaming one."""
+
+    @staticmethod
+    def _streaming(times, positions, window):
+        estimator = StateEstimator(window=window)
+        velocities = np.zeros((len(times), 2))
+        speeds = np.zeros(len(times))
+        for i in range(len(times)):
+            velocities[i], speeds[i] = estimator.update(float(times[i]), positions[i])
+        return velocities, speeds
+
+    @pytest.mark.parametrize("window", [2, 3, 4, 8])
+    def test_matches_streaming_estimator_bitwise(self, window):
+        rng = np.random.default_rng(7)
+        n = 200
+        times = np.cumsum(rng.uniform(0.5, 2.0, size=n))  # irregular sampling
+        positions = np.cumsum(rng.normal(0.0, 5.0, size=(n, 2)), axis=0)
+        expected_v, expected_s = self._streaming(times, positions, window)
+        got_v, got_s = estimate_trace(times, positions, window)
+        assert np.array_equal(expected_v, got_v)
+        assert np.array_equal(expected_s, got_s)
+
+    def test_short_traces(self):
+        velocities, speeds = estimate_trace(np.array([0.0]), np.zeros((1, 2)), 4)
+        assert velocities.tolist() == [[0.0, 0.0]]
+        assert speeds.tolist() == [0.0]
+
+    def test_duplicate_timestamps_degenerate_to_zero(self):
+        times = np.array([1.0, 1.0, 1.0])
+        positions = np.array([[0.0, 0.0], [5.0, 0.0], [9.0, 0.0]])
+        _, speeds = estimate_trace(times, positions, 3)
+        expected_v, expected_s = self._streaming(times, positions, 3)
+        assert np.array_equal(speeds, expected_s)
+
+    def test_window_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_trace(np.arange(3.0), np.zeros((3, 2)), 1)
 
 
 class TestEstimateVelocity:
