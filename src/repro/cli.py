@@ -6,11 +6,17 @@ writing any Python::
     repro table1 --scale 0.25
     repro figure 7 --scale 0.25 --jobs 4
     repro headline --scale 0.25 --jobs 4
-    repro sweep --scenario freeway --protocol map --scale 0.25 --out-dir artifacts
+    repro scenarios
+    repro sweep --scenario rush_hour_city --protocol map --scale 0.25 --out-dir artifacts
     repro simulate --scenario city --protocol map --accuracy 100 --scale 0.2
+    repro fleet --mix rush_hour_city:map:100:25 --mix walking:linear:50:10 --scale 0.1
     repro generate-map city --out city.json
     repro generate-trace --scenario walking --out walk.csv --noisy
     repro visualize --scenario freeway --accuracy 200 --scale 0.1
+
+``--scenario`` accepts every name in the scenario library — the paper's
+four canonical patterns plus the generated compositions (see ``repro
+scenarios`` for the full table).
 
 Every command prints plain-text tables (or JSON with ``--json``) so the
 output can be diffed against the paper's numbers or piped into other tools.
@@ -34,6 +40,12 @@ from repro.experiments.figures import (
     figure10,
     headline_reductions,
     route_update_counts,
+)
+from repro.experiments.library import (
+    FleetMix,
+    describe_scenarios,
+    fleet_lanes,
+    scenario_names,
 )
 from repro.experiments.report import format_series_chart, format_table, to_json
 from repro.experiments.scenarios import get_scenario
@@ -124,8 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = subparsers.add_parser(
         "sweep", help="run one protocol's accuracy sweep and write JSON/CSV artifacts"
     )
-    p_sweep.add_argument("--scenario", choices=[s.value for s in ScenarioName], required=True)
+    p_sweep.add_argument("--scenario", choices=scenario_names(), required=True)
     p_sweep.add_argument("--protocol", choices=list(PROTOCOL_IDS), required=True)
+    p_sweep.add_argument("--seed", type=int, default=None, help="scenario seed override")
     p_sweep.add_argument(
         "--accuracies", type=_accuracy_list, default=None,
         help="comma-separated us values in metres (default: the scenario's sweep)",
@@ -147,10 +160,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_scale(p_ablation)
 
     p_sim = subparsers.add_parser("simulate", help="run one protocol over one scenario")
-    p_sim.add_argument("--scenario", choices=[s.value for s in ScenarioName], required=True)
+    p_sim.add_argument("--scenario", choices=scenario_names(), required=True)
     p_sim.add_argument("--protocol", choices=list(PROTOCOL_IDS), required=True)
     p_sim.add_argument("--accuracy", type=float, required=True, help="requested accuracy us [m]")
     add_scale(p_sim)
+
+    subparsers.add_parser(
+        "scenarios", help="list every scenario in the library (canonical + generated)"
+    )
+
+    p_fleet = subparsers.add_parser(
+        "fleet", help="run a heterogeneous fleet through the merged simulation loop"
+    )
+    p_fleet.add_argument(
+        "--mix",
+        action="append",
+        required=True,
+        metavar="SCENARIO:PROTOCOL:US[:COUNT]",
+        help="one fleet slice, e.g. rush_hour_city:map:100:25 (repeatable)",
+    )
+    p_fleet.add_argument(
+        "--per-object", action="store_true", help="emit one row per object instead of a summary"
+    )
+    p_fleet.add_argument("--seed", type=int, default=None, help="scenario seed override")
+    add_scale(p_fleet)
 
     p_map = subparsers.add_parser("generate-map", help="generate a synthetic road map (JSON)")
     p_map.add_argument("kind", choices=sorted(_MAP_GENERATORS))
@@ -160,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace = subparsers.add_parser(
         "generate-trace", help="generate a movement trace for a scenario (CSV)"
     )
-    p_trace.add_argument("--scenario", choices=[s.value for s in ScenarioName], required=True)
+    p_trace.add_argument("--scenario", choices=scenario_names(), required=True)
     p_trace.add_argument("--out", required=True, help="output CSV path")
     p_trace.add_argument(
         "--noisy", action="store_true", help="write the noisy sensor trace instead of the truth"
@@ -170,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_vis = subparsers.add_parser(
         "visualize", help="ASCII rendering of a route and its update positions (cf. Fig. 3/6)"
     )
-    p_vis.add_argument("--scenario", choices=[s.value for s in ScenarioName], default="freeway")
+    p_vis.add_argument("--scenario", choices=scenario_names(), default="freeway")
     p_vis.add_argument("--protocol", choices=list(PROTOCOL_IDS), default="map")
     p_vis.add_argument("--accuracy", type=float, default=200.0)
     p_vis.add_argument("--width", type=int, default=100)
@@ -221,7 +254,7 @@ def _cmd_headline(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    spec = ScenarioSpec(name=args.scenario, scale=args.scale)
+    spec = ScenarioSpec(name=args.scenario, scale=args.scale, seed=args.seed)
     with SweepRunner(jobs=args.jobs) as runner:
         return _run_sweep_command(args, runner, spec)
 
@@ -240,6 +273,7 @@ def _run_sweep_command(args, runner: SweepRunner, spec: ScenarioSpec) -> int:
                 "scenario": args.scenario,
                 "protocol": args.protocol,
                 "scale": args.scale,
+                "seed": spec.seed,
                 "jobs": args.jobs,
             },
         )
@@ -272,6 +306,39 @@ def _cmd_simulate(args) -> int:
     ).build_protocol(scenario)
     result = SweepRunner().run_single(scenario, protocol)
     _emit(args, [result.as_dict()], f"{args.protocol} on {args.scenario} (us={args.accuracy:g} m)")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    _emit(args, describe_scenarios(), "Scenario library")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    try:
+        mix = [FleetMix.parse(text) for text in args.mix]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from repro.sim.fleet import FleetSimulation
+
+    lanes = fleet_lanes(mix, scale=args.scale, seed=args.seed)
+    fleet = FleetSimulation(lanes).run()
+    if args.per_object:
+        _emit(args, fleet.as_rows(), f"Fleet of {len(lanes)} objects (scale {args.scale:g})")
+        return 0
+    pooled = fleet.aggregate_metrics()
+    summary = {
+        "objects": len(lanes),
+        "object_hours": round(fleet.object_hours, 3),
+        "total_updates": fleet.total_updates,
+        "updates_per_object_hour": round(fleet.updates_per_object_hour, 2),
+        "total_bytes_sent": fleet.total_bytes_sent,
+        "mean_error_m": round(pooled.mean_error, 2),
+        "p95_error_m": round(pooled.percentile(95.0), 2),
+        "max_error_m": round(pooled.max_error, 2),
+    }
+    _emit(args, [summary], f"Fleet of {len(lanes)} objects (scale {args.scale:g})")
     return 0
 
 
@@ -327,6 +394,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "ablation": _cmd_ablation,
     "simulate": _cmd_simulate,
+    "scenarios": _cmd_scenarios,
+    "fleet": _cmd_fleet,
     "generate-map": _cmd_generate_map,
     "generate-trace": _cmd_generate_trace,
     "visualize": _cmd_visualize,

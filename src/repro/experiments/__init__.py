@@ -14,6 +14,18 @@ plus the ablations described in DESIGN.md (:mod:`repro.experiments.ablations`).
 """
 
 from repro.experiments.scenarios import get_scenario, clear_scenario_cache
+from repro.experiments.library import (
+    FleetMix,
+    GENERATED_SPECS,
+    ScenarioEntry,
+    build_library_scenario,
+    describe_scenarios,
+    fleet_lanes,
+    get_entry,
+    register_generated,
+    register_scenario,
+    scenario_names,
+)
 from repro.experiments.tables import table1
 from repro.experiments.figures import (
     FigureSeries,
@@ -33,6 +45,16 @@ from repro.experiments import visualize
 __all__ = [
     "get_scenario",
     "clear_scenario_cache",
+    "FleetMix",
+    "GENERATED_SPECS",
+    "ScenarioEntry",
+    "build_library_scenario",
+    "describe_scenarios",
+    "fleet_lanes",
+    "get_entry",
+    "register_generated",
+    "register_scenario",
+    "scenario_names",
     "table1",
     "FigureSeries",
     "FigureResult",

@@ -168,7 +168,7 @@ def figure_for_scenario(
         for protocol_id in protocol_ids
     }
     return FigureResult(
-        scenario_name=built.name.value,
+        scenario_name=built.key,
         description=built.description,
         series=series,
     )

@@ -1,0 +1,360 @@
+"""The scenario library: every named scenario the stack can run.
+
+One registry holds the paper's four canonical movement patterns *and* the
+scenarios composed by :mod:`repro.mobility.generator` (topology × traffic
+regime × agent × degradation).  Everything downstream resolves names here:
+:class:`~repro.sim.runner.ScenarioSpec` (and with it the sweep runner, the
+per-process scenario cache and every experiment entry point), the ``repro
+sweep``/``simulate``/``fleet`` CLI commands, and the golden-metrics
+regression suite, which pins the metrics of every library scenario.
+
+The registry is deliberately open: :func:`register_scenario` accepts any
+entry whose builder returns a :class:`~repro.mobility.scenarios.Scenario`,
+so experiment scripts can add project-specific scenarios that immediately
+work with sweeps, fleets and artifacts.
+
+One caveat for parallel sweeps: the registry lives in this process.
+Under the ``fork`` start method (the Linux default) workers inherit every
+registration; under ``spawn``/``forkserver`` they re-import this module
+and see only the built-ins, so a ``jobs > 1`` sweep over a scenario
+registered at runtime fails name resolution in the workers.  Register
+such scenarios at import time in a module the workers also import, or
+run their sweeps with ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.mobility.generator import (
+    FREE_FLOW,
+    NIGHT,
+    RUSH_HOUR,
+    SIGNALIZED,
+    STROLL,
+    AgentSpec,
+    Degradation,
+    GeneratorSpec,
+    Topology,
+    generate_scenario,
+)
+from repro.mobility.scenarios import (
+    WALK_US_SWEEP,
+    Scenario,
+    ScenarioName,
+    build_scenario,
+)
+from repro.sim.config import PROTOCOL_IDS, SimulationConfig
+from repro.sim.fleet import FleetLane
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One named scenario: how to build it and how to describe it.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the CLI ``--scenario`` value).
+    description:
+        One-line human description.
+    category:
+        ``"canonical"`` for the paper's four patterns, ``"generated"`` for
+        library compositions.
+    default_seed:
+        Seed used when the caller does not pick one; part of the scenario
+        cache key, so ``seed=None`` and the explicit default share a cache
+        entry.
+    builder:
+        ``(seed, scale) -> Scenario``; must be deterministic in both.
+    knobs:
+        Flat parameter summary for the README table and ``repro scenarios``.
+    """
+
+    name: str
+    description: str
+    category: str
+    default_seed: int
+    builder: Callable[[int, float], Scenario]
+    knobs: Mapping[str, object] = field(default_factory=dict)
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register_scenario(entry: ScenarioEntry) -> ScenarioEntry:
+    """Add *entry* to the library (name must be unused)."""
+    if entry.name in _REGISTRY:
+        raise ValueError(f"scenario {entry.name!r} is already registered")
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def get_entry(name: Union[str, ScenarioName]) -> ScenarioEntry:
+    """The registry entry for *name* (accepts :class:`ScenarioName` members)."""
+    key = name.value if isinstance(name, enum.Enum) else str(name)
+    entry = _REGISTRY.get(key)
+    if entry is None:
+        raise ValueError(
+            f"unknown scenario {key!r}; known scenarios: {', '.join(scenario_names())}"
+        )
+    return entry
+
+
+def scenario_names(category: Optional[str] = None) -> List[str]:
+    """All registered scenario names (optionally filtered by category)."""
+    return [
+        name
+        for name, entry in _REGISTRY.items()
+        if category is None or entry.category == category
+    ]
+
+
+def build_library_scenario(
+    name: Union[str, ScenarioName], seed: Optional[int] = None, scale: float = 1.0
+) -> Scenario:
+    """Build the named scenario directly (uncached; see ``ScenarioSpec.build``)."""
+    entry = get_entry(name)
+    seed = entry.default_seed if seed is None else int(seed)
+    return entry.builder(seed, float(scale))
+
+
+def describe_scenarios() -> List[Dict[str, object]]:
+    """One row per registered scenario (name, category, description, knobs)."""
+    return [
+        {
+            "scenario": entry.name,
+            "category": entry.category,
+            "description": entry.description,
+            "knobs": ", ".join(f"{k}={v}" for k, v in entry.knobs.items()),
+        }
+        for entry in _REGISTRY.values()
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# canonical entries (the paper's Table 1 patterns)
+# --------------------------------------------------------------------------- #
+def _canonical(name: ScenarioName, description: str, default_seed: int,
+               knobs: Mapping[str, object]) -> ScenarioEntry:
+    return register_scenario(
+        ScenarioEntry(
+            name=name.value,
+            description=description,
+            category="canonical",
+            default_seed=default_seed,
+            builder=lambda seed, scale, _n=name: build_scenario(_n, seed=seed, scale=scale),
+            knobs=knobs,
+        )
+    )
+
+
+_canonical(
+    ScenarioName.FREEWAY, "car on a freeway (Table 1: 163 km at ~103 km/h)", 0,
+    {"topology": "corridor", "regime": "free_flow", "route_km": 163},
+)
+_canonical(
+    ScenarioName.INTERURBAN, "car in inter-urban traffic (99 km at ~60 km/h)", 1,
+    {"topology": "interurban", "regime": "mixed", "route_km": 99},
+)
+_canonical(
+    ScenarioName.CITY, "car in city traffic (89 km at ~34 km/h)", 2,
+    {"topology": "grid", "regime": "city", "route_km": 89},
+)
+_canonical(
+    ScenarioName.WALKING, "walking person (10 km at ~4.6 km/h)", 3,
+    {"topology": "footpath", "regime": "stroll", "route_km": 10},
+)
+
+
+# --------------------------------------------------------------------------- #
+# generated entries
+# --------------------------------------------------------------------------- #
+#: The library's generated scenario recipes, by name.
+GENERATED_SPECS: Dict[str, GeneratorSpec] = {}
+
+
+def register_generated(spec: GeneratorSpec) -> GeneratorSpec:
+    """Register a :class:`GeneratorSpec` as a library scenario."""
+    register_scenario(
+        ScenarioEntry(
+            name=spec.name,
+            description=spec.description,
+            category="generated",
+            default_seed=spec.default_seed,
+            builder=lambda seed, scale, _s=spec: generate_scenario(_s, seed=seed, scale=scale),
+            knobs=spec.knobs,
+        )
+    )
+    GENERATED_SPECS[spec.name] = spec
+    return spec
+
+
+register_generated(GeneratorSpec(
+    name="rush_hour_city",
+    description="car crawling through a congested Manhattan grid",
+    topology=Topology(kind="grid", rows=14, cols=14, spacing_m=250.0),
+    regime=RUSH_HOUR,
+    agent=AgentSpec(kind="car", route_style="wander", straight_bias=0.75),
+    route_length_m=25_000.0,
+    default_seed=100,
+))
+register_generated(GeneratorSpec(
+    name="delivery_rounds",
+    description="delivery van on a multi-stop round with drop-off dwells",
+    topology=Topology(kind="grid", rows=12, cols=12, spacing_m=260.0),
+    regime=SIGNALIZED,
+    agent=AgentSpec(kind="delivery", n_stops=10, dwell_range=(60.0, 240.0)),
+    route_length_m=22_000.0,
+    default_seed=101,
+))
+register_generated(GeneratorSpec(
+    name="commuter_mixed",
+    description="commute: motorway approach feeding into dense city streets",
+    topology=Topology(kind="mixed", length_km=25.0, rows=10, cols=10, spacing_m=220.0),
+    regime=FREE_FLOW,
+    agent=AgentSpec(kind="car", route_style="through", estimation_window=3),
+    route_length_m=28_000.0,
+    default_seed=102,
+))
+register_generated(GeneratorSpec(
+    name="tunnel_freeway",
+    description="freeway drive with GPS dropout windows (tunnels)",
+    topology=Topology(kind="corridor", length_km=60.0),
+    regime=FREE_FLOW,
+    agent=AgentSpec(kind="car", route_style="corridor", estimation_window=2),
+    degradation=Degradation(dropout_windows=4, dropout_fraction=0.08),
+    route_length_m=55_000.0,
+    default_seed=103,
+))
+register_generated(GeneratorSpec(
+    name="radial_commute",
+    description="car wandering a ring-and-spoke city under signal control",
+    topology=Topology(kind="radial", n_arms=9, n_rings=6, ring_spacing_m=500.0),
+    regime=SIGNALIZED,
+    agent=AgentSpec(kind="car", route_style="wander", straight_bias=0.6),
+    route_length_m=20_000.0,
+    default_seed=104,
+))
+register_generated(GeneratorSpec(
+    name="night_corridor",
+    description="fast, smooth night drive down an empty motorway",
+    topology=Topology(kind="corridor", length_km=70.0),
+    regime=NIGHT,
+    agent=AgentSpec(kind="car", route_style="corridor", estimation_window=2),
+    route_length_m=60_000.0,
+    default_seed=105,
+))
+register_generated(GeneratorSpec(
+    name="urban_canyon_walk",
+    description="pedestrian in an urban canyon with multipath noise bursts",
+    topology=Topology(kind="footpath", rows=18, cols=18, spacing_m=90.0),
+    regime=STROLL,
+    agent=AgentSpec(kind="pedestrian", estimation_window=8),
+    degradation=Degradation(burst_windows=5, burst_sigma=12.0, burst_fraction=0.2),
+    route_length_m=7_000.0,
+    default_seed=106,
+    us_values=tuple(WALK_US_SWEEP),
+    matching_tolerance=20.0,
+))
+register_generated(GeneratorSpec(
+    name="interurban_stopandgo",
+    description="inter-urban trunk road degraded to stop-and-go traffic",
+    topology=Topology(kind="interurban", n_towns=6, town_spacing_km=14.0),
+    regime=RUSH_HOUR,
+    agent=AgentSpec(kind="car", route_style="corridor"),
+    route_length_m=40_000.0,
+    default_seed=107,
+))
+register_generated(GeneratorSpec(
+    name="campus_courier",
+    description="walking courier doing a multi-stop round across a campus",
+    topology=Topology(kind="footpath", rows=16, cols=16, spacing_m=100.0),
+    regime=STROLL,
+    agent=AgentSpec(
+        kind="pedestrian", route_style="multi_stop", n_stops=6,
+        dwell_range=(30.0, 120.0), estimation_window=8,
+    ),
+    route_length_m=6_000.0,
+    default_seed=108,
+    us_values=tuple(WALK_US_SWEEP),
+    matching_tolerance=20.0,
+))
+
+
+# --------------------------------------------------------------------------- #
+# fleet composition
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FleetMix:
+    """One homogeneous slice of a heterogeneous fleet.
+
+    ``count`` objects all running *protocol_id* at accuracy *accuracy*
+    over the library scenario *scenario*.
+    """
+
+    scenario: str
+    protocol_id: str
+    accuracy: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        get_entry(self.scenario)  # validate early
+        if self.protocol_id not in PROTOCOL_IDS:
+            raise ValueError(
+                f"unknown protocol id {self.protocol_id!r}; expected one of {PROTOCOL_IDS}"
+            )
+        # `not (x > 0)` also rejects NaN, which `x <= 0` would let through.
+        if not (self.accuracy > 0) or self.accuracy == float("inf"):
+            raise ValueError("accuracy must be positive and finite")
+        if self.count < 1:
+            raise ValueError("count must be at least 1")
+
+    @classmethod
+    def parse(cls, text: str) -> "FleetMix":
+        """Parse ``scenario:protocol:accuracy[:count]`` (the CLI format)."""
+        parts = text.split(":")
+        if len(parts) not in (3, 4):
+            raise ValueError(
+                f"expected scenario:protocol:accuracy[:count], got {text!r}"
+            )
+        count = int(parts[3]) if len(parts) == 4 else 1
+        return cls(
+            scenario=parts[0], protocol_id=parts[1],
+            accuracy=float(parts[2]), count=count,
+        )
+
+
+def fleet_lanes(
+    mix: Sequence[FleetMix], scale: float = 1.0, seed: Optional[int] = None
+) -> List[FleetLane]:
+    """Build the lanes of a heterogeneous fleet from *mix* slices.
+
+    Scenarios are resolved through the shared per-process cache (one build
+    per distinct scenario regardless of the object count), and every lane
+    gets its own protocol instance, as :class:`~repro.sim.fleet.FleetSimulation`
+    requires.  Lane ids are ``<scenario>/<protocol>/<us>/<n>``.
+    """
+    from repro.sim.runner import ScenarioSpec  # runtime import: runner resolves us
+
+    lanes: List[FleetLane] = []
+    for m in mix:
+        scenario = ScenarioSpec(name=m.scenario, scale=scale, seed=seed).build()
+        for n in range(m.count):
+            protocol = SimulationConfig(
+                protocol_id=m.protocol_id, accuracy=m.accuracy
+            ).build_protocol(scenario)
+            lanes.append(
+                FleetLane(
+                    object_id=f"{m.scenario}/{m.protocol_id}/{m.accuracy:g}/{n}",
+                    protocol=protocol,
+                    sensor_trace=scenario.sensor_trace,
+                    truth_trace=scenario.true_trace,
+                )
+            )
+    return lanes

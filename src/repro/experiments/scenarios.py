@@ -6,7 +6,9 @@ figure reuses the same scenario for all of its protocol curves.  Since the
 fleet refactor the cache itself lives in :mod:`repro.sim.runner` (keyed by
 :class:`~repro.sim.runner.ScenarioSpec`, shared with the sweep runner and
 its worker processes); this module keeps the convenient name-based
-interface the experiments use.
+interface the experiments use.  Names resolve through the scenario library
+(:mod:`repro.experiments.library`), so the canonical four patterns and
+every generated scenario are equally available here.
 """
 
 from __future__ import annotations
@@ -22,14 +24,19 @@ def get_scenario(name: ScenarioName | str, scale: float = 1.0, seed: int | None 
     Parameters
     ----------
     name:
-        One of ``freeway``, ``interurban``, ``city``, ``walking``.
+        Any name in the scenario library: the canonical ``freeway``,
+        ``interurban``, ``city`` and ``walking`` patterns or a generated
+        scenario such as ``rush_hour_city`` (see
+        :func:`repro.experiments.library.scenario_names`).
     scale:
         Route-length scale factor in ``(0, 1]``; 1.0 matches the paper's
-        trace lengths.
+        trace lengths (or the generated scenario's full route).
     seed:
         Scenario seed; ``None`` uses each scenario's default seed.
     """
-    return ScenarioSpec(name=ScenarioName(name).value, scale=float(scale), seed=seed).build()
+    # ScenarioSpec.__post_init__ resolves both plain strings and
+    # ScenarioName members through the library registry.
+    return ScenarioSpec(name=name, scale=float(scale), seed=seed).build()
 
 
 def clear_scenario_cache() -> None:

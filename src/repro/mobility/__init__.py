@@ -24,6 +24,15 @@ from repro.mobility.scenarios import (
     walking_scenario,
     all_scenarios,
 )
+from repro.mobility.generator import (
+    REGIMES,
+    AgentSpec,
+    Degradation,
+    GeneratorSpec,
+    Topology,
+    TrafficRegime,
+    generate_scenario,
+)
 
 __all__ = [
     "DriverProfile",
@@ -40,4 +49,11 @@ __all__ = [
     "city_scenario",
     "walking_scenario",
     "all_scenarios",
+    "REGIMES",
+    "AgentSpec",
+    "Degradation",
+    "GeneratorSpec",
+    "Topology",
+    "TrafficRegime",
+    "generate_scenario",
 ]

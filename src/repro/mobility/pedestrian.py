@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.mobility.kinematics import DriverProfile
 from repro.mobility.vehicle import SimulatedJourney, VehicleSimulator
@@ -66,6 +66,7 @@ class PedestrianSimulator:
         profile: Optional[PedestrianProfile] = None,
         sample_interval: float = 1.0,
         rng: Optional[random.Random] = None,
+        extra_stops: Optional[Sequence[Tuple[float, float]]] = None,
     ):
         self.profile = profile or PedestrianProfile()
         self._vehicle = VehicleSimulator(
@@ -73,6 +74,7 @@ class PedestrianSimulator:
             self.profile.as_driver_profile(),
             sample_interval=sample_interval,
             rng=rng,
+            extra_stops=extra_stops,
         )
 
     @property

@@ -82,7 +82,7 @@ class Scenario:
         Map-matching tolerance ``um`` in metres (paper Sec. 3).
     """
 
-    name: ScenarioName
+    name: ScenarioName | str
     description: str
     roadmap: RoadMap
     route: Route
@@ -92,6 +92,15 @@ class Scenario:
     estimation_window: int
     us_values: List[float]
     matching_tolerance: float = 30.0
+
+    @property
+    def key(self) -> str:
+        """The scenario's registry name as a plain string.
+
+        Canonical scenarios carry a :class:`ScenarioName` member, generated
+        ones a plain string; this property is the uniform accessor.
+        """
+        return self.name.value if isinstance(self.name, ScenarioName) else str(self.name)
 
     @property
     def true_trace(self) -> Trace:
@@ -173,8 +182,10 @@ def _truncate_route(route: Route, max_length: float) -> Route:
 # --------------------------------------------------------------------------- #
 # scenario builders
 # --------------------------------------------------------------------------- #
-_CAR_US_SWEEP = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0]
-_WALK_US_SWEEP = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0]
+#: Requested-uncertainty sweep used by the paper's car figures (20-500 m).
+CAR_US_SWEEP = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0]
+#: Requested-uncertainty sweep used by the walking figure (20-250 m).
+WALK_US_SWEEP = [20.0, 50.0, 100.0, 150.0, 200.0, 250.0]
 
 
 def freeway_scenario(seed: int = 0, scale: float = 1.0) -> Scenario:
@@ -205,7 +216,7 @@ def freeway_scenario(seed: int = 0, scale: float = 1.0) -> Scenario:
         sensor_trace=noise.apply(journey.trace),
         sensor_sigma=noise.typical_error,
         estimation_window=2,
-        us_values=list(_CAR_US_SWEEP),
+        us_values=list(CAR_US_SWEEP),
     )
 
 
@@ -242,7 +253,7 @@ def interurban_scenario(seed: int = 1, scale: float = 1.0) -> Scenario:
         sensor_trace=noise.apply(journey.trace),
         sensor_sigma=noise.typical_error,
         estimation_window=4,
-        us_values=list(_CAR_US_SWEEP),
+        us_values=list(CAR_US_SWEEP),
     )
 
 
@@ -277,7 +288,7 @@ def city_scenario(seed: int = 2, scale: float = 1.0) -> Scenario:
         sensor_trace=noise.apply(journey.trace),
         sensor_sigma=noise.typical_error,
         estimation_window=4,
-        us_values=list(_CAR_US_SWEEP),
+        us_values=list(CAR_US_SWEEP),
     )
 
 
@@ -309,7 +320,7 @@ def walking_scenario(seed: int = 3, scale: float = 1.0) -> Scenario:
         sensor_trace=noise.apply(journey.trace),
         sensor_sigma=noise.typical_error,
         estimation_window=8,
-        us_values=list(_WALK_US_SWEEP),
+        us_values=list(WALK_US_SWEEP),
         matching_tolerance=20.0,
     )
 

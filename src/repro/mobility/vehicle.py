@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +63,12 @@ class VehicleSimulator:
         Spacing of recorded samples in seconds (1 s in the paper).
     rng:
         Random generator controlling stop placement and speed noise.
+    extra_stops:
+        Additional planned halts as ``(route_offset_m, duration_s)`` pairs,
+        merged with the controller's random intersection stops.  Used for
+        scheduled dwell times (delivery drop-offs, bus stops) that are part
+        of the trip plan rather than of the traffic model.  A stop at the
+        route end is ignored: the journey ends on arrival there.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class VehicleSimulator:
         profile: DriverProfile,
         sample_interval: float = 1.0,
         rng: Optional[random.Random] = None,
+        extra_stops: Optional[Sequence[Tuple[float, float]]] = None,
     ):
         if sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
@@ -79,6 +86,13 @@ class VehicleSimulator:
         self.sample_interval = float(sample_interval)
         self.rng = rng or random.Random()
         self.controller = SpeedController(route, profile, rng=self.rng)
+        self.extra_stops: List[Tuple[float, float]] = []
+        for offset, duration in extra_stops or ():
+            if not (0.0 <= offset <= route.length):
+                raise ValueError("extra stop offsets must lie on the route")
+            if duration < 0:
+                raise ValueError("extra stop durations must be non-negative")
+            self.extra_stops.append((float(offset), float(duration)))
 
     def run(self, name: str = "", max_duration: Optional[float] = None) -> SimulatedJourney:
         """Simulate the whole journey and return the recorded data.
@@ -93,10 +107,29 @@ class VehicleSimulator:
             routes).
         """
         dt = self.sample_interval
-        stops = self.controller.stops
+        # Merge the controller's random stops with the scheduled extra
+        # stops.  Stops sharing one offset are folded into a single halt of
+        # summed duration — a stop whose offset the vehicle already occupies
+        # could otherwise never satisfy the strict crossing check below and
+        # would block every stop behind it in the queue.
+        stops: List[tuple] = []
+        for offset_s, duration in sorted(self.controller.stops + self.extra_stops):
+            if offset_s >= self.route.length - 1e-6:
+                # The journey ends on arrival at the route end; a dwell
+                # there would never be simulated, so don't count it either.
+                continue
+            if stops and offset_s <= stops[-1][0]:
+                stops[-1] = (stops[-1][0], stops[-1][1] + duration)
+            else:
+                stops.append((offset_s, duration))
         stop_index = 0
         remaining_stop = 0.0
         stop_count = 0
+        # A stop at the very start is a dwell before departure.
+        if stops and stops[0][0] <= 0.0:
+            remaining_stop = stops[0][1]
+            stop_index = 1
+            stop_count = 1
 
         time = 0.0
         offset = 0.0

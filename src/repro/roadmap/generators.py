@@ -444,6 +444,194 @@ def pedestrian_map(
 
 
 # --------------------------------------------------------------------------- #
+# radial (ring-and-spoke) city
+# --------------------------------------------------------------------------- #
+def radial_ring_map(
+    n_arms: int = 8,
+    n_rings: int = 5,
+    ring_spacing_m: float = 450.0,
+    jitter_m: float = 10.0,
+    arterial_arms: bool = True,
+    seed: int = 4,
+) -> RoadMap:
+    """A ring-and-spoke city: radial arterials crossed by concentric rings.
+
+    Many European cities grow radially rather than as a grid: arterial
+    roads leave a centre in every direction and ring roads connect them.
+    For the protocols this topology matters because the prediction
+    function faces a genuine multi-way choice at every ring/arm crossing,
+    and ring driving produces sustained curvature that linear predictors
+    handle poorly.
+
+    Parameters
+    ----------
+    n_arms:
+        Number of radial arterials leaving the centre.
+    n_rings:
+        Number of concentric ring roads.
+    ring_spacing_m:
+        Radial distance between consecutive rings in metres.
+    jitter_m:
+        Uniform positional jitter applied to every crossing.
+    arterial_arms:
+        Whether the arms get a higher road class / speed limit than rings.
+    seed:
+        Seed for the jitter.
+    """
+    if n_arms < 3:
+        raise ValueError("a radial map needs at least 3 arms")
+    if n_rings < 1:
+        raise ValueError("a radial map needs at least 1 ring")
+    rng = random.Random(seed)
+    builder = RoadMapBuilder()
+    center = builder.add_intersection((0.0, 0.0))
+
+    arm_class = RoadClass.SECONDARY if arterial_arms else RoadClass.RESIDENTIAL
+    arm_speed = (60.0 if arterial_arms else 50.0) / 3.6
+    ring_speed = 50.0 / 3.6
+
+    # Crossing nodes: node_ids[arm][ring]
+    node_ids: List[List[int]] = []
+    for a in range(n_arms):
+        angle = 2.0 * math.pi * a / n_arms
+        arm_nodes: List[int] = []
+        for k in range(1, n_rings + 1):
+            radius = k * ring_spacing_m
+            jitter = np.array(
+                [rng.uniform(-jitter_m, jitter_m), rng.uniform(-jitter_m, jitter_m)]
+            )
+            pos = np.array([radius * math.cos(angle), radius * math.sin(angle)]) + jitter
+            arm_nodes.append(builder.add_intersection(pos).id)
+        node_ids.append(arm_nodes)
+
+    # Radial arms: centre -> first ring -> ... -> outer ring.
+    for a in range(n_arms):
+        chain = [center.id] + node_ids[a]
+        for u, v in zip(chain[:-1], chain[1:]):
+            builder.add_two_way_link(
+                u, v, road_class=arm_class, speed_limit=arm_speed, name=f"arm-{a}"
+            )
+    # Ring roads: connect consecutive arms at every ring, following the arc.
+    for k in range(n_rings):
+        radius = (k + 1) * ring_spacing_m
+        for a in range(n_arms):
+            b = (a + 1) % n_arms
+            angle_a = 2.0 * math.pi * a / n_arms
+            angle_b = 2.0 * math.pi * b / n_arms
+            if b == 0:
+                angle_b = 2.0 * math.pi
+            mid = 0.5 * (angle_a + angle_b)
+            shape = [np.array([radius * math.cos(mid), radius * math.sin(mid)])]
+            builder.add_two_way_link(
+                node_ids[a][k],
+                node_ids[b][k],
+                shape_points=shape,
+                road_class=RoadClass.RESIDENTIAL,
+                speed_limit=ring_speed,
+                name=f"ring-{k}",
+            )
+    return builder.build()
+
+
+# --------------------------------------------------------------------------- #
+# mixed corridor + grid (commuter) network
+# --------------------------------------------------------------------------- #
+def corridor_city_map(
+    corridor_km: float = 12.0,
+    rows: int = 10,
+    cols: int = 10,
+    spacing_m: float = 220.0,
+    interchange_spacing_km: float = 2.0,
+    corridor_speed_kmh: float = 120.0,
+    jitter_m: float = 10.0,
+    seed: int = 5,
+) -> RoadMap:
+    """A motorway corridor feeding into a city street grid (commuter trip).
+
+    The classic commute — freeway approach, then dense urban streets —
+    mixes the two movement regimes in one map: long high-speed links where
+    map-based prediction excels, followed by frequent low-speed turns.
+    The corridor runs west of the grid and is connected to the grid's
+    western edge by a short arterial connector.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("rows and cols must be at least 2")
+    if corridor_km <= 0:
+        raise ValueError("corridor_km must be positive")
+    rng = random.Random(seed)
+    builder = RoadMapBuilder()
+
+    # City grid around the origin (same structure as city_grid_map).
+    node_grid: List[List[int]] = []
+    for r in range(rows):
+        row_nodes: List[int] = []
+        for c in range(cols):
+            jitter = np.array(
+                [rng.uniform(-jitter_m, jitter_m), rng.uniform(-jitter_m, jitter_m)]
+            )
+            pos = np.array([c * spacing_m, r * spacing_m]) + jitter
+            row_nodes.append(builder.add_intersection(pos).id)
+        node_grid.append(row_nodes)
+    for r in range(rows):
+        cls = RoadClass.SECONDARY if r % 3 == 0 else RoadClass.RESIDENTIAL
+        speed = (60.0 if cls is RoadClass.SECONDARY else 50.0) / 3.6
+        for c in range(cols - 1):
+            builder.add_two_way_link(
+                node_grid[r][c], node_grid[r][c + 1],
+                road_class=cls, speed_limit=speed, name=f"street-h{r}",
+            )
+    for c in range(cols):
+        cls = RoadClass.SECONDARY if c % 3 == 0 else RoadClass.RESIDENTIAL
+        speed = (60.0 if cls is RoadClass.SECONDARY else 50.0) / 3.6
+        for r in range(rows - 1):
+            builder.add_two_way_link(
+                node_grid[r][c], node_grid[r + 1][c],
+                road_class=cls, speed_limit=speed, name=f"street-v{c}",
+            )
+
+    # Motorway corridor approaching the grid from the west, aimed at the
+    # middle of the western edge.
+    mid_y = (rows - 1) * spacing_m / 2.0
+    start = np.array([-(corridor_km * 1000.0) - 800.0, mid_y])
+    path = curved_path(
+        length=corridor_km * 1000.0,
+        step=100.0,
+        start=start,
+        initial_heading=0.0,
+        curvature_sigma=4e-5,
+        max_curvature=8e-4,
+        curvature_decay=0.97,
+        rng=rng,
+    )
+    corridor_nodes = _corridor(
+        builder,
+        path,
+        node_spacing=interchange_spacing_km * 1000.0,
+        road_class=RoadClass.MOTORWAY,
+        speed_limit=corridor_speed_kmh / 3.6,
+        name="M-commute",
+    )
+
+    # Connector: corridor end to the nearest western-edge grid node.
+    end_node = builder._intersections[corridor_nodes[-1]]
+    west_edge = [node_grid[r][0] for r in range(rows)]
+    nearest = min(
+        west_edge,
+        key=lambda nid: float(
+            np.hypot(*(builder._intersections[nid].position - end_node.position))
+        ),
+    )
+    builder.add_two_way_link(
+        end_node.id,
+        nearest,
+        road_class=RoadClass.SECONDARY,
+        speed_limit=60.0 / 3.6,
+        name="connector",
+    )
+    return builder.build()
+
+
+# --------------------------------------------------------------------------- #
 # tiny maps for unit tests and documentation examples
 # --------------------------------------------------------------------------- #
 def straight_road_map(

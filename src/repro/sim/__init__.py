@@ -35,7 +35,7 @@ from repro.sim.engine import ProtocolSimulation, run_simulation
 from repro.sim.fleet import FleetLane, FleetResult, FleetSimulation, run_fleet
 from repro.sim.sweep import SweepPoint, run_accuracy_sweep, run_config_sweep
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import ScenarioSpec, SweepRunner, SweepTask
+from repro.sim.runner import ScenarioSpec, SweepRunner, SweepTask, read_artifact
 
 __all__ = [
     "AccuracyMetrics",
@@ -53,4 +53,5 @@ __all__ = [
     "ScenarioSpec",
     "SweepRunner",
     "SweepTask",
+    "read_artifact",
 ]

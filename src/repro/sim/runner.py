@@ -21,6 +21,7 @@ figures, tables and ablations all leave greppable, diffable records behind.
 
 from __future__ import annotations
 
+import ast
 import csv
 import json
 import os
@@ -28,7 +29,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.mobility.scenarios import Scenario, ScenarioName, build_scenario
+from repro.mobility.scenarios import Scenario
 from repro.protocols.base import UpdateProtocol
 from repro.service.channel import MessageChannel
 from repro.sim.config import SimulationConfig
@@ -42,10 +43,19 @@ from repro.sim.sweep import SweepPoint
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A picklable recipe for one of the canonical scenarios.
+    """A picklable recipe for any scenario of the library.
 
-    Workers rebuild (or, under ``fork``, inherit) the scenario from this
-    spec instead of shipping the multi-megabyte scenario object itself.
+    Names are resolved through :mod:`repro.experiments.library` (canonical
+    *and* generated scenarios).  Workers rebuild (or, under ``fork``,
+    inherit) the scenario from this spec instead of shipping the
+    multi-megabyte scenario object itself.
+
+    The spec doubles as the scenario cache key, so ``__post_init__``
+    canonicalises every field: the name through the registry, ``scale`` to
+    ``float``, and ``seed`` to ``int`` — with ``None`` resolved to the
+    scenario's default seed.  Distinct ``seed``/``scale`` combinations can
+    therefore never alias one cache entry, and the default seed written
+    explicitly shares its entry with ``seed=None``.
     """
 
     name: str
@@ -53,7 +63,16 @@ class ScenarioSpec:
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "name", ScenarioName(self.name).value)
+        # Runtime import: the library lives above the runner in the package
+        # graph (it registers builders that the runner merely executes).
+        from repro.experiments.library import get_entry
+
+        entry = get_entry(self.name)
+        object.__setattr__(self, "name", entry.name)
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(
+            self, "seed", entry.default_seed if self.seed is None else int(self.seed)
+        )
         if not (0.0 < self.scale <= 1.0):
             raise ValueError("scale must be in (0, 1]")
 
@@ -68,7 +87,9 @@ _SCENARIO_CACHE: Dict[ScenarioSpec, Scenario] = {}
 def _cached_scenario(spec: ScenarioSpec) -> Scenario:
     scenario = _SCENARIO_CACHE.get(spec)
     if scenario is None:
-        scenario = build_scenario(spec.name, seed=spec.seed, scale=spec.scale)
+        from repro.experiments.library import build_library_scenario
+
+        scenario = build_library_scenario(spec.name, seed=spec.seed, scale=spec.scale)
         _SCENARIO_CACHE[spec] = scenario
     return scenario
 
@@ -337,3 +358,50 @@ class SweepRunner:
                 raise ValueError(f"unknown artifact format {fmt!r}")
             written[fmt] = path
         return written
+
+
+def read_artifact(path: str) -> Dict[str, object]:
+    """Read a sweep artifact written by :meth:`SweepRunner.write_artifacts`.
+
+    Returns ``{"name", "metadata", "points"}`` for both formats.  JSON
+    artifacts parse natively; CSV artifacts (which carry neither name nor
+    metadata) get the file stem as name, empty metadata, and rows with
+    numeric fields restored — so a JSON/CSV pair round-trips to the same
+    point dictionaries.
+    """
+    if path.endswith(".json"):
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        for key in ("name", "metadata", "points"):
+            if key not in payload:
+                raise ValueError(f"artifact {path!r} lacks the {key!r} field")
+        return payload
+    if path.endswith(".csv"):
+        with open(path, "r", encoding="utf-8", newline="") as fh:
+            rows = [
+                {key: _parse_csv_cell(value) for key, value in row.items()}
+                for row in csv.DictReader(fh)
+            ]
+        name = os.path.splitext(os.path.basename(path))[0]
+        return {"name": name, "metadata": {}, "points": rows}
+    raise ValueError(f"unknown artifact format for {path!r} (expected .json or .csv)")
+
+
+def _parse_csv_cell(value: Optional[str]) -> object:
+    """Restore a CSV cell to the value the JSON artifact would carry."""
+    if value is None or value == "":
+        return value
+    try:
+        number = float(value)
+    except ValueError:
+        # Nested dicts (update reasons, matcher stats) are serialised as
+        # their Python repr by DictWriter; eval them back conservatively.
+        if value.startswith("{") and value.endswith("}"):
+            try:
+                return ast.literal_eval(value)
+            except (ValueError, SyntaxError):
+                return value
+        return value
+    if number.is_integer() and "." not in value and "e" not in value.lower():
+        return int(number)
+    return number

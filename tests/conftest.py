@@ -23,6 +23,15 @@ from repro.roadmap.generators import straight_road_map, t_junction_map
 from repro.traces.trace import Trace
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current code instead of comparing",
+    )
+
+
 # --------------------------------------------------------------------------- #
 # small road maps
 # --------------------------------------------------------------------------- #

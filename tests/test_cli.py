@@ -139,3 +139,72 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "updates over" in out
         assert "S" in out and "E" in out
+
+
+class TestLibraryCommands:
+    def test_scenarios_lists_canonical_and_generated(self, capsys):
+        assert cli.main(["--json", "scenarios"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        names = {row["scenario"] for row in rows}
+        assert {"freeway", "walking", "rush_hour_city", "tunnel_freeway"} <= names
+        assert {row["category"] for row in rows} == {"canonical", "generated"}
+
+    def test_sweep_accepts_generated_scenario(self, tmp_path, capsys):
+        assert cli.main(
+            [
+                "sweep", "--scenario", "radial_commute", "--protocol", "linear",
+                "--scale", "0.15", "--accuracies", "100,200",
+                "--out-dir", str(tmp_path),
+            ]
+        ) == 0
+        payload = json.loads((tmp_path / "sweep_radial_commute_linear.json").read_text())
+        assert [row["us_m"] for row in payload["points"]] == [100.0, 200.0]
+
+    def test_sweep_seed_override_changes_results(self, capsys):
+        base = ["--json", "sweep", "--scenario", "radial_commute", "--protocol",
+                "linear", "--scale", "0.15", "--accuracies", "100"]
+        assert cli.main(base + ["--seed", "1"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert cli.main(base + ["--seed", "2"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first != second
+
+    def test_simulate_accepts_generated_scenario(self, capsys):
+        assert cli.main(
+            [
+                "--json", "simulate", "--scenario", "tunnel_freeway",
+                "--protocol", "map", "--accuracy", "150", "--scale", "0.15",
+            ]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["us_m"] == 150.0
+
+    def test_fleet_summary(self, capsys):
+        assert cli.main(
+            [
+                "--json", "fleet",
+                "--mix", "rush_hour_city:map:100:3",
+                "--mix", "walking:linear:50:2",
+                "--scale", "0.1",
+            ]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["objects"] == 5
+        assert rows[0]["total_updates"] > 0
+
+    def test_fleet_per_object(self, capsys):
+        assert cli.main(
+            [
+                "--json", "fleet", "--mix", "radial_commute:linear:100:4",
+                "--scale", "0.15", "--per-object",
+            ]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4
+        assert {row["object"] for row in rows} == {
+            f"radial_commute/linear/100/{n}" for n in range(4)
+        }
+
+    def test_fleet_rejects_malformed_mix(self, capsys):
+        assert cli.main(["fleet", "--mix", "nonsense"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -71,6 +71,42 @@ class TestVehicleSimulator:
             >= duration_quiet.trace.duration + 3 * 20.0 - 2.0
         )
 
+    def test_extra_stops_extend_duration(self, straight_route):
+        quiet = DriverProfile(stop_probability=0.0, speed_noise_sigma=0.0)
+        base = VehicleSimulator(straight_route, quiet, rng=random.Random(3)).run()
+        dwelling = VehicleSimulator(
+            straight_route, quiet, rng=random.Random(3), extra_stops=[(1000.0, 60.0)]
+        ).run()
+        assert dwelling.trace.duration >= base.trace.duration + 60.0 - 2.0
+
+    def test_extra_stop_at_start_and_coincident_stops_do_not_stall_queue(
+        self, straight_route
+    ):
+        """Regression: a stop at offset 0 (or two stops sharing an offset)
+        must not block every later stop in the merged queue."""
+        quiet = DriverProfile(stop_probability=0.0, speed_noise_sigma=0.0)
+        base = VehicleSimulator(straight_route, quiet, rng=random.Random(3)).run()
+        tricky = VehicleSimulator(
+            straight_route,
+            quiet,
+            rng=random.Random(3),
+            extra_stops=[(0.0, 30.0), (1000.0, 20.0), (1000.0, 40.0), (1500.0, 50.0)],
+        ).run()
+        # All four dwells are honoured: 30 at the start, 20+40 merged at
+        # 1000 m, 50 at 1500 m.
+        assert tricky.trace.duration >= base.trace.duration + 140.0 - 4.0
+        assert tricky.stop_count == 3  # start, merged mid, late
+
+    def test_extra_stops_validated(self, straight_route):
+        with pytest.raises(ValueError):
+            VehicleSimulator(straight_route, DriverProfile(), extra_stops=[(-5.0, 10.0)])
+        with pytest.raises(ValueError):
+            VehicleSimulator(straight_route, DriverProfile(), extra_stops=[(10.0, -1.0)])
+        with pytest.raises(ValueError):
+            VehicleSimulator(
+                straight_route, DriverProfile(), extra_stops=[(1e9, 10.0)]
+            )
+
     def test_max_duration_truncates(self, straight_route):
         journey = VehicleSimulator(
             straight_route, DriverProfile(), rng=random.Random(4)

@@ -73,3 +73,106 @@ def test_grid_and_rtree_agree_on_bbox_queries(segments):
     tree = STRtree(items, node_capacity=4)
     box = BoundingBox(-2_000.0, -2_000.0, 2_000.0, 2_000.0)
     assert {i.key for i in grid.query_bbox(box)} == {i.key for i in tree.query_bbox(box)}
+
+
+# --------------------------------------------------------------------------- #
+# nearest across every backend, with and without a distance cap
+# --------------------------------------------------------------------------- #
+@settings(max_examples=50, deadline=None)
+@given(
+    segments=st.lists(st.tuples(point, point), min_size=1, max_size=30),
+    queries=st.lists(point, min_size=1, max_size=8),
+    cell_size=st.sampled_from([120.0, 500.0, 2_500.0]),
+)
+def test_all_backends_agree_on_nearest_point_sets(segments, queries, cell_size):
+    """Grid, STR-tree and brute force return the same nearest distance."""
+    items = build_items(segments)
+    grid = GridIndex(cell_size=cell_size, items=items)
+    tree = STRtree(items, node_capacity=4)
+    for query in queries:
+        expected = brute_force_nearest(items, query)
+        for backend in (grid, tree):
+            got = backend.nearest(query)
+            assert got is not None and expected is not None
+            assert np.isclose(got[1], expected[1], atol=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    segments=st.lists(st.tuples(point, point), min_size=1, max_size=25),
+    query=point,
+    max_distance=st.floats(min_value=1.0, max_value=8_000.0),
+)
+def test_all_backends_agree_on_capped_nearest(segments, query, max_distance):
+    """The ``max_distance`` contract holds identically on every backend."""
+    items = build_items(segments)
+    grid = GridIndex(cell_size=600.0, items=items)
+    tree = STRtree(items, node_capacity=4)
+    expected = brute_force_nearest(items, query, limit=max_distance)
+    for backend in (grid, tree):
+        got = backend.nearest(query, max_distance=max_distance)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got[1] <= max_distance + 1e-9
+            assert np.isclose(got[1], expected[1], atol=1e-6)
+
+
+# --------------------------------------------------------------------------- #
+# polyline projection
+# --------------------------------------------------------------------------- #
+polyline_points = st.lists(point, min_size=2, max_size=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(vertices=polyline_points, query=point)
+def test_polyline_projection_matches_segmentwise_minimum(vertices, query):
+    """``Polyline.project`` equals the minimum over its segments."""
+    from repro.geo.polyline import Polyline
+
+    line = Polyline(vertices)
+    matched, offset, dist = line.project(np.asarray(query))
+    segment_min = min(seg.distance_to(np.asarray(query)) for seg in line.segments())
+    assert np.isclose(dist, segment_min, atol=1e-6)
+    assert 0.0 <= offset <= line.length + 1e-9
+    # The matched point lies on the polyline at the reported offset and at
+    # the reported distance from the query.
+    assert np.allclose(matched, line.point_at(offset), atol=1e-6)
+    assert np.isclose(np.hypot(*(matched - np.asarray(query))), dist, atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(vertices=polyline_points, fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_polyline_projection_of_on_line_point_is_exact(vertices, fraction):
+    """A point taken from the polyline projects back to distance ~0."""
+    from repro.geo.polyline import Polyline
+
+    line = Polyline(vertices)
+    offset = fraction * line.length
+    on_line = line.point_at(offset)
+    _, _, dist = line.project(on_line)
+    assert dist <= 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(vertices=polyline_points, query=point)
+def test_polyline_projection_agrees_across_index_backends(vertices, query):
+    """Indexing polyline segments gives the same nearest distance everywhere."""
+    from repro.geo.polyline import Polyline
+
+    line = Polyline(vertices)
+    items = [
+        IndexedItem(key=i, bounds=BoundingBox(*seg.bounds()), distance=seg.distance_to)
+        for i, seg in enumerate(line.segments())
+    ]
+    _, _, direct = line.project(np.asarray(query))
+    for index in (
+        GridIndex(cell_size=400.0, items=items),
+        STRtree(items, node_capacity=4),
+    ):
+        got = index.nearest(query)
+        assert got is not None
+        assert np.isclose(got[1], direct, atol=1e-6)
+    brute = brute_force_nearest(items, query)
+    assert brute is not None and np.isclose(brute[1], direct, atol=1e-6)

@@ -9,11 +9,12 @@ import pytest
 from repro.protocols.linear import LinearPredictionProtocol
 from repro.protocols.reporting import TimeBasedReporting
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import ScenarioSpec, SweepRunner, SweepTask
+from repro.sim.runner import ScenarioSpec, SweepRunner, SweepTask, read_artifact
 from repro.sim.sweep import run_accuracy_sweep, run_config_sweep
 
 FREEWAY = ScenarioSpec(name="freeway", scale=0.05, seed=0)
 CITY = ScenarioSpec(name="city", scale=0.07, seed=2)
+RADIAL = ScenarioSpec(name="radial_commute", scale=0.15)
 ACCURACIES = [50.0, 100.0, 200.0]
 
 
@@ -50,11 +51,66 @@ class TestScenarioSpec:
         )
         assert pickle.loads(pickle.dumps(task)) == task
 
+    def test_generated_scenario_names_resolve(self):
+        spec = ScenarioSpec(name="rush_hour_city", scale=0.15)
+        assert spec.build().key == "rush_hour_city"
+
+
+class TestCacheKeying:
+    """Satellite: distinct seed/scale combinations must never alias."""
+
+    def test_two_seeds_yield_different_traces(self):
+        a = ScenarioSpec(name="city", scale=0.05, seed=11).build()
+        b = ScenarioSpec(name="city", scale=0.05, seed=12).build()
+        assert a is not b
+        same_shape = a.sensor_trace.positions.shape == b.sensor_trace.positions.shape
+        assert not (
+            same_shape
+            and np.array_equal(a.sensor_trace.positions, b.sensor_trace.positions)
+        )
+
+    def test_two_seeds_yield_different_generated_traces(self):
+        a = ScenarioSpec(name="radial_commute", scale=0.15, seed=1).build()
+        b = ScenarioSpec(name="radial_commute", scale=0.15, seed=2).build()
+        same_shape = a.sensor_trace.positions.shape == b.sensor_trace.positions.shape
+        assert not (
+            same_shape
+            and np.array_equal(a.sensor_trace.positions, b.sensor_trace.positions)
+        )
+
+    def test_two_scales_yield_different_cache_entries(self):
+        a = ScenarioSpec(name="freeway", scale=0.04, seed=0).build()
+        b = ScenarioSpec(name="freeway", scale=0.05, seed=0).build()
+        assert a is not b
+        assert len(a.sensor_trace) != len(b.sensor_trace)
+
+    def test_default_seed_and_none_share_one_entry(self):
+        # seed=None canonicalises to the scenario's default seed, so both
+        # spellings hit the same cache entry instead of building twice.
+        implicit = ScenarioSpec(name="freeway", scale=0.05)
+        explicit = ScenarioSpec(name="freeway", scale=0.05, seed=0)
+        assert implicit == explicit
+        assert implicit.seed == 0
+        assert implicit.build() is explicit.build()
+
+    def test_numeric_types_canonicalised(self):
+        # np.int64 / float-typed inputs must not create shadow cache keys.
+        assert ScenarioSpec(name="freeway", scale=0.05, seed=np.int64(7)) == ScenarioSpec(
+            name="freeway", scale=0.05, seed=7
+        )
+        assert ScenarioSpec(name="freeway", scale=np.float64(0.05), seed=7) == ScenarioSpec(
+            name="freeway", scale=0.05, seed=7
+        )
+        assert isinstance(ScenarioSpec(name="freeway", seed=np.int64(7)).seed, int)
+        assert isinstance(ScenarioSpec(name="freeway", scale=np.float64(0.5)).scale, float)
+
 
 class TestExecutorEquivalence:
     """Satellite: jobs=1 and jobs=4 must produce bit-identical sequences."""
 
-    @pytest.mark.parametrize("spec", [FREEWAY, CITY], ids=["freeway", "city"])
+    @pytest.mark.parametrize(
+        "spec", [FREEWAY, CITY, RADIAL], ids=["freeway", "city", "radial_commute"]
+    )
     def test_serial_vs_parallel_identical(self, spec):
         serial = SweepRunner(jobs=1).run_config_sweep(spec, "linear", ACCURACIES)
         parallel = SweepRunner(jobs=4).run_config_sweep(spec, "linear", ACCURACIES)
@@ -173,3 +229,46 @@ class TestArtifacts:
         runner = SweepRunner()
         with pytest.raises(ValueError):
             runner.write_artifacts([], "x", out_dir=str(tmp_path), formats=("yaml",))
+
+
+class TestArtifactRoundTrip:
+    """Satellite: JSON/CSV artifacts parse back to the same point values."""
+
+    SPECS = [
+        ScenarioSpec(name="freeway", scale=0.05, seed=0),
+        ScenarioSpec(name="rush_hour_city", scale=0.15),
+        ScenarioSpec(name="tunnel_freeway", scale=0.15),
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS, ids=[s.name for s in SPECS])
+    def test_json_and_csv_round_trip(self, spec, tmp_path):
+        runner = SweepRunner()
+        points = runner.run_config_sweep(spec, "linear", [100.0, 200.0])
+        name = f"roundtrip_{spec.name}"
+        written = runner.write_artifacts(
+            points, name, out_dir=str(tmp_path), metadata={"scenario": spec.name}
+        )
+        expected_rows = [point.result.as_dict() for point in points]
+        json_payload = read_artifact(written["json"])
+        assert json_payload["name"] == name
+        assert json_payload["metadata"] == {"scenario": spec.name}
+        assert json_payload["points"] == expected_rows
+        csv_payload = read_artifact(written["csv"])
+        assert csv_payload["name"] == name
+        assert csv_payload["points"] == expected_rows
+        # Both formats carry the identical rows, so they agree with each
+        # other as well as with the in-memory sweep.
+        assert csv_payload["points"] == json_payload["points"]
+        assert [row["us_m"] for row in csv_payload["points"]] == [p.accuracy for p in points]
+
+    def test_read_artifact_rejects_unknown_extension(self, tmp_path):
+        path = tmp_path / "artifact.yaml"
+        path.write_text("points: []\n")
+        with pytest.raises(ValueError):
+            read_artifact(str(path))
+
+    def test_read_artifact_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text(json.dumps({"points": []}))
+        with pytest.raises(ValueError):
+            read_artifact(str(path))
