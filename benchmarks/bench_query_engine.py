@@ -1,0 +1,235 @@
+"""Query-engine throughput: sharded index-backed queries vs linear scans.
+
+The service-tier refactor replaced the seed's O(fleet) per-query linear
+scans with a sharded :class:`~repro.service.facade.LocationService` whose
+per-shard :class:`~repro.service.query_engine.QueryEngine` maintains an
+incremental spatial index over predicted positions.  This benchmark tracks
+a 1000-object fleet on both backends, replays the same mixed query workload
+(range / k-nearest / geofence, several query waves per simulated timestamp)
+against each, and
+
+* asserts every answer is *identical* between the two paths,
+* requires the sharded path to deliver at least 5x the query throughput of
+  the linear-scan baseline, and
+* records everything (including per-shard load counters) in
+  ``BENCH_query_engine.json`` at the repository root.
+
+The fleet size, shard count and query volume can be tuned via
+``REPRO_BENCH_QE_OBJECTS`` / ``REPRO_BENCH_QE_SHARDS`` /
+``REPRO_BENCH_QE_QUERIES`` for quick local runs.
+``REPRO_BENCH_QE_MIN_SPEEDUP`` lowers the *asserted* floor (CI smoke on
+noisy shared runners gates on "clearly beats the full scan" rather than
+the full 5x target, which is still recorded in the artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.geo.bbox import BoundingBox
+from repro.protocols.base import ObjectState, UpdateMessage, UpdateReason
+from repro.protocols.prediction import LinearPrediction
+from repro.service.facade import LocationService
+from repro.service.queries import geofence_query, nearest_object_query, range_query
+from repro.service.server import LocationServer
+from repro.sim.workload import QueryWorkload, WorkloadExecutor
+
+from conftest import run_once
+
+_RESULT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_query_engine.json")
+
+#: Spatial extent of the synthetic fleet (a ~20 km urban region).
+_EXTENT_M = 20_000.0
+#: The throughput the sharded path must deliver over the linear baseline.
+_REQUIRED_SPEEDUP = 5.0
+
+
+def _build_fleet(n_objects: int, seed: int = 0):
+    """One update per object: positions and velocities over the region."""
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, _EXTENT_M, size=(n_objects, 2))
+    velocities = rng.uniform(-20.0, 20.0, size=(n_objects, 2))
+    messages = []
+    for i in range(n_objects):
+        state = ObjectState(
+            time=0.0,
+            position=positions[i],
+            velocity=velocities[i],
+            speed=float(np.hypot(*velocities[i])),
+        )
+        messages.append(
+            (
+                f"obj-{i:04d}",
+                UpdateMessage(sequence=0, state=state, reason=UpdateReason.THRESHOLD),
+            )
+        )
+    return messages
+
+
+def _replay(backend, workload: QueryWorkload, times, queries_per_wave: int):
+    """Replay the workload, several query waves per timestamp; return executor."""
+    executor = WorkloadExecutor(
+        workload,
+        backend,
+        BoundingBox(0.0, 0.0, _EXTENT_M, _EXTENT_M),
+        record_answers=True,
+    )
+    for t in times:
+        for _ in range(queries_per_wave):
+            executor.on_tick(t)
+    return executor
+
+
+def compare_query_paths(
+    n_objects: int = 1000, shards: int = 4, n_queries: int = 600, seed: int = 0
+):
+    """Time linear-scan vs sharded-index query answering; return the record."""
+    messages = _build_fleet(n_objects, seed=seed)
+
+    single = LocationServer()
+    service = LocationService(n_shards=shards, region_size=_EXTENT_M / 8.0)
+    for backend in (single, service):
+        for object_id, _ in messages:
+            backend.register_object(
+                object_id, prediction=LinearPrediction(), accuracy=100.0
+            )
+    for object_id, message in messages:
+        single.receive_update(object_id, message, 0.0)
+    service.ingest_batch(messages, 0.0)
+
+    # Queries arrive in waves: many application queries per simulated
+    # timestamp, a handful of distinct timestamps (each forces a full
+    # incremental re-sync of every shard's index on the service path).
+    times = [0.0, 15.0, 30.0, 45.0, 60.0]
+    queries_per_wave = max(1, n_queries // (len(times) * 1))
+    workload = QueryWorkload(
+        queries_per_tick=1.0,
+        mix={"range": 1.0, "nearest": 1.0, "geofence": 1.0},
+        k=5,
+        range_extent_m=1500.0,
+        geofence_radius_m=800.0,
+        seed=seed,
+    )
+
+    t0 = time.perf_counter()
+    linear = _replay(single, workload, times, queries_per_wave)
+    linear_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = _replay(service, workload, times, queries_per_wave)
+    sharded_seconds = time.perf_counter() - t0
+
+    identical = linear.answers == sharded.answers
+    speedup = linear_seconds / sharded_seconds if sharded_seconds > 0 else None
+    stats = service.service_stats()
+
+    return {
+        "benchmark": "query_engine_vs_linear_scan",
+        "objects": n_objects,
+        "shards": shards,
+        "queries": linear.report.queries,
+        "query_waves": len(times) * queries_per_wave,
+        "distinct_times": len(times),
+        "mix": dict(workload.mix),
+        "required_speedup": _REQUIRED_SPEEDUP,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "linear_scan_seconds": round(linear_seconds, 4),
+        "sharded_seconds": round(sharded_seconds, 4),
+        "speedup": round(speedup, 3) if speedup else None,
+        "linear_queries_per_second": round(linear.report.queries_per_second, 1),
+        "sharded_queries_per_second": round(sharded.report.queries_per_second, 1),
+        "answers_identical": identical,
+        "hits": linear.report.hits,
+        "handoffs": stats["handoffs"],
+        "load_imbalance": round(stats["load_imbalance"], 3),
+        "per_shard": stats["per_shard"],
+    }
+
+
+def _print_record(record):
+    print(
+        json.dumps(
+            {k: v for k, v in record.items() if k not in ("per_shard", "machine")},
+            indent=2,
+        )
+    )
+
+
+def _write_record(record):
+    with open(_RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(_RESULT_PATH)}")
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+def _min_speedup() -> float:
+    """The asserted speedup floor (default: the full 5x target)."""
+    return float(os.environ.get("REPRO_BENCH_QE_MIN_SPEEDUP", _REQUIRED_SPEEDUP))
+
+
+def test_query_engine_speedup(benchmark):
+    record = run_once(
+        benchmark,
+        compare_query_paths,
+        n_objects=_env_int("REPRO_BENCH_QE_OBJECTS", 1000),
+        shards=_env_int("REPRO_BENCH_QE_SHARDS", 4),
+        n_queries=_env_int("REPRO_BENCH_QE_QUERIES", 600),
+    )
+    print()
+    _print_record(record)
+    _write_record(record)
+    assert record["answers_identical"], "sharded answers diverge from the linear scans"
+    floor = _min_speedup()
+    assert record["speedup"] >= floor, (
+        f"speedup {record['speedup']}x is below the {floor}x floor"
+    )
+
+
+def test_linear_reference_agreement_small():
+    """Tiny cross-check runnable without the benchmark harness."""
+    messages = _build_fleet(50, seed=3)
+    single = LocationServer()
+    service = LocationService(n_shards=3, region_size=4000.0)
+    for backend in (single, service):
+        for object_id, _ in messages:
+            backend.register_object(object_id, prediction=LinearPrediction())
+    for object_id, message in messages:
+        single.receive_update(object_id, message, 0.0)
+    service.ingest_batch(messages, 0.0)
+    box = BoundingBox(2000.0, 2000.0, 9000.0, 8000.0)
+    for t in (0.0, 20.0):
+        assert service.range_query(box, t) == range_query(single, box, t)
+        assert service.nearest_objects((5000.0, 5000.0), t, k=5) == nearest_object_query(
+            single, (5000.0, 5000.0), t, k=5
+        )
+        assert service.geofence_query((5000.0, 5000.0), 2500.0, t) == geofence_query(
+            single, (5000.0, 5000.0), 2500.0, t
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual / CI smoke entry point
+    record = compare_query_paths(
+        n_objects=_env_int("REPRO_BENCH_QE_OBJECTS", 1000),
+        shards=_env_int("REPRO_BENCH_QE_SHARDS", 4),
+        n_queries=_env_int("REPRO_BENCH_QE_QUERIES", 600),
+    )
+    _print_record(record)
+    _write_record(record)
+    assert record["answers_identical"], "sharded answers diverge from the linear scans"
+    floor = _min_speedup()
+    assert record["speedup"] >= floor, (
+        f"speedup {record['speedup']}x is below the {floor}x floor"
+    )

@@ -10,6 +10,8 @@ writing any Python::
     repro sweep --scenario rush_hour_city --protocol map --scale 0.25 --out-dir artifacts
     repro simulate --scenario city --protocol map --accuracy 100 --scale 0.2
     repro fleet --mix rush_hour_city:map:100:25 --mix walking:linear:50:10 --scale 0.1
+    repro fleet --mix city:linear:100:50 --shards 4 --scale 0.1
+    repro query-bench --scenario rush_hour_city --count 50 --shards 4 --scale 0.1
     repro generate-map city --out city.json
     repro generate-trace --scenario walking --out walk.csv --noisy
     repro visualize --scenario freeway --accuracy 200 --scale 0.1
@@ -39,7 +41,6 @@ from repro.experiments.figures import (
     figure9,
     figure10,
     headline_reductions,
-    route_update_counts,
 )
 from repro.experiments.library import (
     FleetMix,
@@ -60,7 +61,8 @@ from repro.roadmap.generators import (
     pedestrian_map,
 )
 from repro.sim.config import PROTOCOL_IDS, SimulationConfig
-from repro.sim.runner import ScenarioSpec, SweepRunner
+from repro.sim.runner import QueryBenchSpec, ScenarioSpec, SweepRunner
+from repro.sim.workload import QueryWorkload
 from repro.traces import io as trace_io
 
 _FIGURES = {"7": figure7, "8": figure8, "9": figure9, "10": figure10}
@@ -183,7 +185,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-object", action="store_true", help="emit one row per object instead of a summary"
     )
     p_fleet.add_argument("--seed", type=int, default=None, help="scenario seed override")
+    p_fleet.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="serve the fleet from a spatially sharded LocationService (default 1)",
+    )
     add_scale(p_fleet)
+
+    p_qbench = subparsers.add_parser(
+        "query-bench",
+        help="replay a query workload against a sharded fleet mid-simulation",
+    )
+    p_qbench.add_argument("--scenario", choices=scenario_names(), default="rush_hour_city")
+    p_qbench.add_argument("--protocol", choices=list(PROTOCOL_IDS), default="linear")
+    p_qbench.add_argument("--accuracy", type=float, default=100.0, help="requested accuracy us [m]")
+    p_qbench.add_argument("--count", type=_positive_int, default=25, help="fleet size")
+    p_qbench.add_argument("--shards", type=_positive_int, default=4)
+    p_qbench.add_argument(
+        "--queries-per-tick", type=float, default=2.0,
+        help="application queries issued per simulation tick (may be fractional)",
+    )
+    p_qbench.add_argument(
+        "--query-mix", type=str, default=None, metavar="KIND=W,...",
+        help='e.g. "range=2,nearest=1,geofence=0.5" (default: the scenario\'s mix)',
+    )
+    p_qbench.add_argument("--k", type=_positive_int, default=3, help="k for k-nearest queries")
+    p_qbench.add_argument("--seed", type=int, default=None, help="scenario seed override")
+    p_qbench.add_argument(
+        "--out-dir", type=str, default=None,
+        help="directory for the JSON artifact (default: print only)",
+    )
+    add_scale(p_qbench)
 
     p_map = subparsers.add_parser("generate-map", help="generate a synthetic road map (JSON)")
     p_map.add_argument("kind", choices=sorted(_MAP_GENERATORS))
@@ -320,12 +351,25 @@ def _cmd_fleet(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    from repro.service.facade import LocationService
     from repro.sim.fleet import FleetSimulation
+    from repro.sim.runner import auto_region_size
 
     lanes = fleet_lanes(mix, scale=args.scale, seed=args.seed)
-    fleet = FleetSimulation(lanes).run()
+    server = None
+    if args.shards > 1:
+        # Size the routing cells from the fleet's actual extent: a fixed
+        # metre value degenerates to a single cell on small-scale runs.
+        server = LocationService(
+            n_shards=args.shards,
+            region_size=auto_region_size(lanes, args.shards),
+        )
+    fleet = FleetSimulation(lanes, server=server).run()
+    title = f"Fleet of {len(lanes)} objects (scale {args.scale:g})"
+    if args.shards > 1:
+        title += f", {args.shards} shards"
     if args.per_object:
-        _emit(args, fleet.as_rows(), f"Fleet of {len(lanes)} objects (scale {args.scale:g})")
+        _emit(args, fleet.as_rows(), title)
         return 0
     pooled = fleet.aggregate_metrics()
     summary = {
@@ -338,7 +382,67 @@ def _cmd_fleet(args) -> int:
         "p95_error_m": round(pooled.percentile(95.0), 2),
         "max_error_m": round(pooled.max_error, 2),
     }
-    _emit(args, [summary], f"Fleet of {len(lanes)} objects (scale {args.scale:g})")
+    if fleet.service_stats:
+        summary["handoffs"] = fleet.service_stats["handoffs"]
+        if args.json:
+            # Machine consumers get the shard rows inline; text mode prints
+            # them as a second table below.
+            summary["per_shard"] = fleet.service_stats["per_shard"]
+    _emit(args, [summary], title)
+    if fleet.service_stats and not args.json:
+        print()
+        print(format_table(fleet.service_stats["per_shard"], title="Per-shard load"))
+    return 0
+
+
+def _cmd_query_bench(args) -> int:
+    try:
+        mix = QueryWorkload.parse_mix(args.query_mix) if args.query_mix else None
+        spec = QueryBenchSpec(
+            scenario=args.scenario,
+            protocol_id=args.protocol,
+            accuracy=args.accuracy,
+            count=args.count,
+            shards=args.shards,
+            scale=args.scale,
+            seed=args.seed,
+            queries_per_tick=args.queries_per_tick,
+            mix=mix,
+            k=args.k,
+        )
+        # Surface workload validation (unknown kinds, negative rates) as a
+        # clean CLI error instead of a traceback mid-run.
+        spec.build_workload()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runner = SweepRunner()
+    record = runner.run_query_bench(spec)
+    if args.json:
+        print(to_json(record))
+    else:
+        workload = dict(record["workload"])
+        summary = {
+            "scenario": record["scenario"],
+            "objects": record["objects"],
+            "shards": record["shards"],
+            "queries": workload.get("queries", 0),
+            "hits": workload.get("hits", 0),
+            "mean_query_us": workload.get("mean_query_us", 0.0),
+            "queries_per_second": workload.get("queries_per_second", 0.0),
+            "handoffs": record["service"].get("handoffs", 0),
+        }
+        print(format_table(
+            [summary],
+            title=f"Query bench on {args.scenario} (scale {args.scale:g})",
+        ))
+        print()
+        print(format_table(record["per_shard"], title="Per-shard load"))
+    if args.out_dir:
+        path = runner.write_query_bench_artifact(
+            record, f"query_bench_{args.scenario}_{args.protocol}", out_dir=args.out_dir
+        )
+        print(f"wrote json: {path}", file=sys.stderr)
     return 0
 
 
@@ -396,6 +500,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "scenarios": _cmd_scenarios,
     "fleet": _cmd_fleet,
+    "query-bench": _cmd_query_bench,
     "generate-map": _cmd_generate_map,
     "generate-trace": _cmd_generate_trace,
     "visualize": _cmd_visualize,

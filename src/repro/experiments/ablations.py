@@ -13,7 +13,6 @@ DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.scenarios import get_scenario
@@ -31,7 +30,6 @@ from repro.protocols.linear import LinearPredictionProtocol
 from repro.protocols.mapbased import MapBasedConfig, MapBasedProtocol
 from repro.protocols.prediction import (
     MainRoadTurnPolicy,
-    ProbabilisticTurnPolicy,
     SmallestAngleTurnPolicy,
 )
 from repro.protocols.probabilistic import ProbabilisticMapBasedProtocol

@@ -15,7 +15,7 @@ protocol; :func:`route_update_counts` reproduces their quantitative content
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.experiments.scenarios import get_scenario

@@ -74,6 +74,11 @@ class ScenarioEntry:
         ``(seed, scale) -> Scenario``; must be deterministic in both.
     knobs:
         Flat parameter summary for the README table and ``repro scenarios``.
+    query_mix:
+        Optional explicit application-query mix (``range`` / ``nearest`` /
+        ``geofence`` weights) replayed by ``repro query-bench`` for this
+        scenario.  When absent, :func:`repro.sim.workload.default_query_mix`
+        derives one from the topology knob.
     """
 
     name: str
@@ -82,6 +87,7 @@ class ScenarioEntry:
     default_seed: int
     builder: Callable[[int, float], Scenario]
     knobs: Mapping[str, object] = field(default_factory=dict)
+    query_mix: Optional[Mapping[str, float]] = None
 
 
 _REGISTRY: Dict[str, ScenarioEntry] = {}
@@ -140,6 +146,17 @@ def describe_scenarios() -> List[Dict[str, object]]:
 # --------------------------------------------------------------------------- #
 # canonical entries (the paper's Table 1 patterns)
 # --------------------------------------------------------------------------- #
+#: Explicit application-query mixes for scenarios whose workload shape is
+#: better described by their *use* than by their topology (the fallback):
+#: dispatchers chase their delivery van (nearest-heavy), a campus geofences
+#: buildings, taxis are hailed by proximity in the congested grid.
+QUERY_MIXES: Dict[str, Mapping[str, float]] = {
+    "delivery_rounds": {"range": 0.5, "nearest": 3.0, "geofence": 1.0},
+    "campus_courier": {"range": 0.5, "nearest": 1.0, "geofence": 3.0},
+    "rush_hour_city": {"range": 0.5, "nearest": 3.0, "geofence": 1.0},
+}
+
+
 def _canonical(name: ScenarioName, description: str, default_seed: int,
                knobs: Mapping[str, object]) -> ScenarioEntry:
     return register_scenario(
@@ -150,6 +167,7 @@ def _canonical(name: ScenarioName, description: str, default_seed: int,
             default_seed=default_seed,
             builder=lambda seed, scale, _n=name: build_scenario(_n, seed=seed, scale=scale),
             knobs=knobs,
+            query_mix=QUERY_MIXES.get(name.value),
         )
     )
 
@@ -189,6 +207,7 @@ def register_generated(spec: GeneratorSpec) -> GeneratorSpec:
             default_seed=spec.default_seed,
             builder=lambda seed, scale, _s=spec: generate_scenario(_s, seed=seed, scale=scale),
             knobs=spec.knobs,
+            query_mix=QUERY_MIXES.get(spec.name),
         )
     )
     GENERATED_SPECS[spec.name] = spec

@@ -9,7 +9,7 @@ examples, plus JSON export for further processing.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 
 def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:

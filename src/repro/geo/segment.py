@@ -8,7 +8,6 @@ machinery lives here.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -18,18 +18,12 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
-import numpy as np
 
 from repro.geo.angles import angle_between
-from repro.mobility.kinematics import (
-    CITY_DRIVER,
-    FREEWAY_DRIVER,
-    INTERURBAN_DRIVER,
-    DriverProfile,
-)
+from repro.mobility.kinematics import DriverProfile
 from repro.mobility.pedestrian import PedestrianProfile, PedestrianSimulator
 from repro.mobility.vehicle import SimulatedJourney, VehicleSimulator
 from repro.roadmap.elements import Link, RoadClass
@@ -41,7 +35,7 @@ from repro.roadmap.generators import (
 )
 from repro.roadmap.graph import RoadMap
 from repro.roadmap.routing import Route, RoutePlanner
-from repro.traces.noise import GaussMarkovNoise, GpsNoiseModel
+from repro.traces.noise import GaussMarkovNoise
 from repro.traces.trace import Trace
 
 
@@ -154,7 +148,7 @@ def corridor_route(roadmap: RoadMap, road_class: RoadClass) -> Route:
         exit_dir = current.direction_at(current.length)
         current = min(
             candidates,
-            key=lambda l: (angle_between(exit_dir, l.direction_at(0.0)), l.id),
+            key=lambda link: (angle_between(exit_dir, link.direction_at(0.0)), link.id),
         )
         links.append(current)
         visited.add(current.id)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np

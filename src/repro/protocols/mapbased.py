@@ -29,7 +29,6 @@ from repro.mapmatching.matcher import (
     IncrementalMapMatcher,
     MatcherConfig,
     MatchResult,
-    MatchStatus,
 )
 from repro.protocols.base import ObjectState, UpdateProtocol, UpdateReason
 from repro.protocols.prediction import (

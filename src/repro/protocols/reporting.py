@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.geo.vec import distance
-from repro.protocols.base import ObjectState, UpdateProtocol, UpdateReason
+from repro.protocols.base import UpdateProtocol, UpdateReason
 from repro.protocols.prediction import PredictionFunction, StaticPrediction
 
 

@@ -7,7 +7,7 @@ an immutable :class:`~repro.roadmap.graph.RoadMap`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -12,14 +12,14 @@ queries from it:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
 
 from repro.geo.bbox import BoundingBox
 from repro.geo.vec import Vec2, as_vec
-from repro.roadmap.elements import Intersection, Link, RoadClass
+from repro.roadmap.elements import Intersection, Link
 from repro.spatial.grid import GridIndex
 from repro.spatial.index import IndexedItem, SpatialIndex
 

@@ -16,7 +16,7 @@ import networkx as nx
 import numpy as np
 
 from repro.geo.polyline import Polyline
-from repro.geo.vec import Vec2, as_vec
+from repro.geo.vec import Vec2
 from repro.roadmap.elements import Link
 from repro.roadmap.graph import RoadMap
 
@@ -274,7 +274,7 @@ class RoutePlanner:
                     exit_dir = current.direction_at(current.length)
                     straightest = min(
                         successors,
-                        key=lambda l: (angle_between(exit_dir, l.direction_at(0.0)), l.id),
+                        key=lambda link: (angle_between(exit_dir, link.direction_at(0.0)), link.id),
                     )
                     if rng.random() < straight_bias:
                         current = straightest

@@ -7,13 +7,25 @@ queries from applications.  This package provides those two components plus
 the message channel between them and the query API applications use
 ("find the nearest taxi cab", "address all users inside an area",
 paper Sec. 1).
+
+Beyond the paper's single server, the package also provides the sharded
+serving tier the ROADMAP's fleet-scale north star needs:
+:class:`LocationService` partitions tracked objects across N
+:class:`LocationServer` shards by spatial region (pluggable
+:class:`ShardingPolicy`), ingests updates in per-tick batches, hands
+objects off across shard boundaries, and answers range / k-nearest /
+geofence queries through one incremental :class:`QueryEngine` per shard.
 """
 
 from repro.service.channel import ChannelStats, MessageChannel
 from repro.service.server import LocationServer, TrackedObject
 from repro.service.source import LocationSource
+from repro.service.sharding import GridHashPolicy, ShardingPolicy
+from repro.service.query_engine import QueryEngine
+from repro.service.facade import LocationService, QueryCounters, ShardLoad
 from repro.service.queries import (
     PositionQueryResult,
+    geofence_query,
     position_query,
     range_query,
     nearest_object_query,
@@ -25,8 +37,15 @@ __all__ = [
     "LocationServer",
     "TrackedObject",
     "LocationSource",
+    "LocationService",
+    "QueryEngine",
+    "QueryCounters",
+    "ShardLoad",
+    "ShardingPolicy",
+    "GridHashPolicy",
     "PositionQueryResult",
     "position_query",
     "range_query",
     "nearest_object_query",
+    "geofence_query",
 ]

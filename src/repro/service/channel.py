@@ -10,8 +10,8 @@ disconnections Wolfson's dtdr strategy addresses).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.protocols.base import UpdateMessage
 

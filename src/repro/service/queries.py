@@ -3,14 +3,29 @@
 The paper motivates the location service with queries such as "find the
 nearest taxi cab depending on the user's current location" and "address all
 users that are currently inside a department of a store" (Sec. 1).  These
-helpers implement the three standard flavours on top of the server's
+helpers implement the standard flavours as linear scans over the server's
 predicted positions.
+
+They are the *reference* implementations: exact, easy to audit, O(fleet)
+per query.  The sharded service tier
+(:class:`~repro.service.facade.LocationService`) answers the same queries
+through incremental spatial indexes and is asserted bit-identical to these
+scans by the test-suite.  Because they accept any object exposing the
+:class:`~repro.service.server.LocationServer` query surface, they also run
+unchanged against a :class:`LocationService`.
+
+Edge cases are well-defined rather than exceptional: a position query for
+an unknown object, and range / nearest / geofence queries against an empty
+server (or before any update has arrived) return empty / ``None`` results.
+Nearest-object answers are deterministically tie-broken by
+``(distance, object_id)`` so that sharded and single-server answers are
+reproducible and comparable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -33,8 +48,18 @@ def position_query(server: LocationServer, object_id: str, time: float) -> Posit
     """Where is *object_id* (assumed to be) at *time*?
 
     The answer carries the accuracy the source guarantees, so applications
-    can reason about the uncertainty of the returned position.
+    can reason about the uncertainty of the returned position.  An unknown
+    object id yields a well-defined empty answer (``position=None``,
+    infinite accuracy, no update time) instead of an exception — mirroring
+    an object that has never reported.
     """
+    if not server.is_registered(object_id):
+        return PositionQueryResult(
+            object_id=object_id,
+            position=None,
+            accuracy=float("inf"),
+            last_update_time=None,
+        )
     record = server.tracked_object(object_id)
     return PositionQueryResult(
         object_id=object_id,
@@ -52,6 +77,8 @@ def range_query(
     *margin* grows the area by the per-object accuracy bound when positive
     multiples of it are desired (e.g. ``margin=1.0`` adds one accuracy radius),
     so that the query never misses an object that could actually be inside.
+    An empty server — or one where no object has reported yet — yields an
+    empty list.
     """
     hits: List[str] = []
     for object_id in server.object_ids():
@@ -72,8 +99,11 @@ def nearest_object_query(
 ) -> List[Tuple[str, float]]:
     """The *k* objects predicted to be closest to *point* at *time*.
 
-    Returns ``(object_id, distance)`` pairs sorted by distance.  Objects that
-    have never reported are ignored.
+    Returns ``(object_id, distance)`` pairs sorted by distance, with exact
+    ties broken by object id — so the answer is independent of registration
+    order and identical between the sharded and single-server paths.
+    Objects that have never reported are ignored; an empty server yields an
+    empty list.
     """
     p = as_vec(point)
     scored: List[Tuple[str, float]] = []
@@ -81,3 +111,25 @@ def nearest_object_query(
         scored.append((object_id, distance(predicted, p)))
     scored.sort(key=lambda pair: (pair[1], pair[0]))
     return scored[: max(0, k)]
+
+
+def geofence_query(
+    server: LocationServer, point: Vec2, radius: float, time: float
+) -> List[Tuple[str, float]]:
+    """All objects predicted within *radius* metres of *point* at *time*.
+
+    The "address all users currently inside an area" query (paper Sec. 1)
+    for circular areas.  Returns ``(object_id, distance)`` pairs sorted by
+    ``(distance, object_id)``; a negative radius, an empty server, or a
+    server where nothing has reported yet all yield an empty list.
+    """
+    if radius < 0:
+        return []
+    p = as_vec(point)
+    scored: List[Tuple[str, float]] = []
+    for object_id, predicted in server.all_positions(time).items():
+        d = distance(predicted, p)
+        if d <= radius:
+            scored.append((object_id, d))
+    scored.sort(key=lambda pair: (pair[1], pair[0]))
+    return scored

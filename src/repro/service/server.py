@@ -8,7 +8,7 @@ Fig. 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -69,6 +69,21 @@ class LocationServer:
     def is_registered(self, object_id: str) -> bool:
         """Whether *object_id* is known to the server."""
         return object_id in self._objects
+
+    def adopt(self, record: TrackedObject) -> None:
+        """Take over an existing record wholesale (shard handoff).
+
+        Unlike :meth:`register_object` this preserves the record's state,
+        update counters and timestamps — the object merely changes the
+        server instance responsible for it.
+        """
+        if record.object_id in self._objects:
+            raise ValueError(f"object {record.object_id!r} already registered")
+        self._objects[record.object_id] = record
+
+    def remove_object(self, object_id: str) -> TrackedObject:
+        """Remove and return the record for *object_id* (shard handoff)."""
+        return self._objects.pop(object_id)
 
     def receive_update(self, object_id: str, message: UpdateMessage, time: float) -> None:
         """Apply an update message received at *time*."""

@@ -1,0 +1,114 @@
+"""Spatial sharding policies for the location-service tier.
+
+A sharding policy maps positions to shard indices so that a
+:class:`~repro.service.facade.LocationService` can partition its tracked
+objects across several :class:`~repro.service.server.LocationServer` shards.
+Policies are pluggable; the default :class:`GridHashPolicy` hashes a coarse
+spatial grid cell onto the shard ring, which spreads load evenly without
+requiring any knowledge of the covered area.
+
+Every mapping is deterministic (no process-randomised hashes), so shard
+assignments — and with them per-shard load counters and query routes — are
+reproducible across runs and across processes.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import zlib
+from typing import List
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.vec import Vec2, as_vec
+
+#: Cell counts above this threshold make per-cell shard routing pointless:
+#: a hash-distributed box that large touches (nearly) every shard anyway.
+_DENSE_BOX_CELLS = 64
+
+
+class ShardingPolicy(abc.ABC):
+    """Maps object positions (and ids) to shard indices in ``[0, n_shards)``."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        self.n_shards = int(n_shards)
+
+    @abc.abstractmethod
+    def shard_for_point(self, point: Vec2) -> int:
+        """The shard responsible for an object predicted at *point*."""
+
+    def shard_for_id(self, object_id: str) -> int:
+        """Stable fallback shard for objects that have not reported yet.
+
+        Uses CRC32 rather than :func:`hash` so the assignment is identical
+        in every process (``PYTHONHASHSEED`` randomises string hashes).
+        """
+        return zlib.crc32(object_id.encode("utf-8")) % self.n_shards
+
+    @abc.abstractmethod
+    def shards_for_box(self, box: BoundingBox) -> List[int]:
+        """Every shard that may hold an object positioned inside *box*.
+
+        The result may be a superset of the shards actually holding matching
+        objects (routing is conservative), but must never miss one.
+        """
+
+    def all_shards(self) -> List[int]:
+        """All shard indices (the trivially correct routing answer)."""
+        return list(range(self.n_shards))
+
+
+class GridHashPolicy(ShardingPolicy):
+    """Hash a coarse spatial grid cell onto the shard ring.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards to spread objects over.
+    region_size:
+        Edge length of a routing cell in metres.  Cells should be comparable
+        to (or larger than) typical query extents so that a range query only
+        touches a few shards.
+    """
+
+    def __init__(self, n_shards: int, region_size: float = 2000.0):
+        super().__init__(n_shards)
+        if region_size <= 0:
+            raise ValueError("region_size must be positive")
+        self.region_size = float(region_size)
+
+    def cell_for_point(self, point: Vec2) -> tuple[int, int]:
+        """The routing cell containing *point*."""
+        p = as_vec(point)
+        return (
+            int(math.floor(p[0] / self.region_size)),
+            int(math.floor(p[1] / self.region_size)),
+        )
+
+    def shard_for_cell(self, cell: tuple[int, int]) -> int:
+        """Deterministic spatial hash of a routing cell onto the shard ring."""
+        cx, cy = cell
+        # Classic two-prime spatial hash; Python's % keeps the result
+        # non-negative for negative cell coordinates.
+        return ((cx * 73856093) ^ (cy * 19349663)) % self.n_shards
+
+    def shard_for_point(self, point: Vec2) -> int:
+        return self.shard_for_cell(self.cell_for_point(point))
+
+    def shards_for_box(self, box: BoundingBox) -> List[int]:
+        if self.n_shards == 1:
+            return [0]
+        min_cx, min_cy = self.cell_for_point((box.min_x, box.min_y))
+        max_cx, max_cy = self.cell_for_point((box.max_x, box.max_y))
+        n_cells = (max_cx - min_cx + 1) * (max_cy - min_cy + 1)
+        if n_cells >= max(_DENSE_BOX_CELLS, 8 * self.n_shards):
+            return self.all_shards()
+        shards = set()
+        for cx in range(min_cx, max_cx + 1):
+            for cy in range(min_cy, max_cy + 1):
+                shards.add(self.shard_for_cell((cx, cy)))
+                if len(shards) == self.n_shards:
+                    return self.all_shards()
+        return sorted(shards)

@@ -35,9 +35,26 @@ from repro.sim.engine import ProtocolSimulation, run_simulation
 from repro.sim.fleet import FleetLane, FleetResult, FleetSimulation, run_fleet
 from repro.sim.sweep import SweepPoint, run_accuracy_sweep, run_config_sweep
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import ScenarioSpec, SweepRunner, SweepTask, read_artifact
+from repro.sim.runner import (
+    QueryBenchSpec,
+    ScenarioSpec,
+    SweepRunner,
+    SweepTask,
+    read_artifact,
+)
+from repro.sim.workload import (
+    QueryWorkload,
+    WorkloadExecutor,
+    WorkloadReport,
+    default_query_mix,
+)
 
 __all__ = [
+    "QueryBenchSpec",
+    "QueryWorkload",
+    "WorkloadExecutor",
+    "WorkloadReport",
+    "default_query_mix",
     "AccuracyMetrics",
     "SimulationResult",
     "ProtocolSimulation",

@@ -27,17 +27,19 @@ Design properties the rest of the stack relies on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.geo.bbox import BoundingBox
 from repro.geo.vec import distance
 from repro.protocols.base import UpdateProtocol
 from repro.service.channel import MessageChannel
 from repro.service.server import LocationServer
 from repro.service.source import LocationSource
 from repro.sim.metrics import AccuracyMetrics, SimulationResult
+from repro.sim.workload import QueryWorkload, WorkloadExecutor, WorkloadReport
 from repro.traces.estimation import estimate_trace
 from repro.traces.trace import Trace
 
@@ -72,9 +74,18 @@ class FleetLane:
 
 @dataclass
 class FleetResult:
-    """Outcome of one fleet run: per-object results plus aggregates."""
+    """Outcome of one fleet run: per-object results plus aggregates.
+
+    ``service_stats`` carries the serving tier's per-shard load and query
+    counters when the fleet ran against a
+    :class:`~repro.service.facade.LocationService` backend (empty for the
+    plain single server); ``workload`` is the replayed query workload's
+    report, when one was attached.
+    """
 
     results: Dict[str, SimulationResult]
+    service_stats: Dict[str, object] = field(default_factory=dict)
+    workload: Optional[WorkloadReport] = None
 
     @property
     def object_ids(self) -> List[str]:
@@ -195,11 +206,24 @@ class FleetSimulation:
         Default channel shared by every lane that does not bring its own;
         loss-free and instantaneous when omitted.
     server:
-        The location server; a fresh one is created when omitted.
+        The service backend — a plain
+        :class:`~repro.service.server.LocationServer` (fresh one when
+        omitted) or a sharded
+        :class:`~repro.service.facade.LocationService`.  Backends exposing
+        ``ingest_batch`` receive each tick's delivered updates as one batch;
+        with one shard the results are bit-identical to the single server.
     count_initial_update:
         Whether each object's bootstrap update counts towards its update
         total (the paper counts transmitted messages, so the default is
         ``True``).
+    query_workload:
+        Optional :class:`~repro.sim.workload.QueryWorkload` replayed against
+        the backend at every simulation tick; its report lands on
+        :attr:`FleetResult.workload`.  Queries are read-only, so attaching a
+        workload never changes the simulation results.
+    record_query_answers:
+        Keep every workload query's answer on
+        ``self.workload_executor.answers`` (tests / benchmarks only).
     """
 
     def __init__(
@@ -208,6 +232,8 @@ class FleetSimulation:
         channel: Optional[MessageChannel] = None,
         server: Optional[LocationServer] = None,
         count_initial_update: bool = True,
+        query_workload: Optional[QueryWorkload] = None,
+        record_query_answers: bool = False,
     ):
         lanes = list(lanes)
         if not lanes:
@@ -222,6 +248,10 @@ class FleetSimulation:
         self.server = server if server is not None else LocationServer()
         self.shared_channel = channel if channel is not None else MessageChannel()
         self.count_initial_update = bool(count_initial_update)
+        self.query_workload = query_workload
+        self.record_query_answers = bool(record_query_answers)
+        #: The executor of the last run's query workload (``None`` without one).
+        self.workload_executor: Optional[WorkloadExecutor] = None
 
     def run(self) -> FleetResult:
         """Execute the fleet simulation and return per-object results.
@@ -260,37 +290,75 @@ class FleetSimulation:
         for channel in channels:
             channel.reset()
 
-        if len(states) == 1:
-            self._run_single(states[0])
-        else:
-            self._run_merged(states)
+        executor: Optional[WorkloadExecutor] = None
+        if self.query_workload is not None:
+            executor = WorkloadExecutor(
+                self.query_workload,
+                server,
+                self._fleet_area(states),
+                record_answers=self.record_query_answers,
+            )
+        self.workload_executor = executor
 
+        if len(states) == 1:
+            self._run_single(states[0], executor)
+        else:
+            self._run_merged(states, executor)
+
+        results = {
+            state.lane.object_id: state.finish(self.count_initial_update)
+            for state in states
+        }
+        home_shard = getattr(server, "home_shard", None)
+        if callable(home_shard):
+            for object_id, result in results.items():
+                result.service_stats = {"shard": home_shard(object_id)}
+        service_stats = getattr(server, "service_stats", None)
         return FleetResult(
-            results={
-                state.lane.object_id: state.finish(self.count_initial_update)
-                for state in states
-            }
+            results=results,
+            service_stats=service_stats() if callable(service_stats) else {},
+            workload=executor.report if executor is not None else None,
         )
+
+    @staticmethod
+    def _fleet_area(states: List["_LaneState"]) -> BoundingBox:
+        """Bounding box of every lane's truth trace (query-centre domain)."""
+        mins = np.min([state.truth_positions.min(axis=0) for state in states], axis=0)
+        maxs = np.max([state.truth_positions.max(axis=0) for state in states], axis=0)
+        return BoundingBox(float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
 
     # ------------------------------------------------------------------ #
     # loop variants
     # ------------------------------------------------------------------ #
-    def _run_single(self, state: _LaneState) -> None:
+    def _run_single(
+        self, state: _LaneState, executor: Optional[WorkloadExecutor] = None
+    ) -> None:
         """Plain per-sample loop for a single lane (no merge overhead)."""
         server = self.server
+        ingest = getattr(server, "ingest_batch", None)
         channel = state.channel
         object_id = state.lane.object_id
         for i, t in enumerate(state.times.tolist()):
             state.process_sighting(i, t)
-            for obj_id, delivered in channel.deliver_due(t):
-                server.receive_update(obj_id, delivered, t)
+            delivered = channel.deliver_due(t)
+            if delivered:
+                if ingest is not None:
+                    ingest(delivered, t)
+                else:
+                    for obj_id, message in delivered:
+                        server.receive_update(obj_id, message, t)
             state.record_error(i, server.predict_position(object_id, t))
+            if executor is not None:
+                executor.on_tick(t)
 
-    def _run_merged(self, states: List[_LaneState]) -> None:
+    def _run_merged(
+        self, states: List[_LaneState], executor: Optional[WorkloadExecutor] = None
+    ) -> None:
         """Time-ordered merge of every lane's samples.
 
         Events at the same timestamp are processed as one batch: all
-        sightings first, then all due channel deliveries, then one batched
+        sightings first, then all due channel deliveries (ingested as one
+        per-tick batch when the backend supports it), then one batched
         position query for the objects sampled at that instant.  Per lane
         this preserves exactly the single-run order (sight, deliver,
         predict), which is what makes fleet results identical to
@@ -313,6 +381,7 @@ class FleetSimulation:
         starts = np.flatnonzero(np.r_[True, t_sorted[1:] != t_sorted[:-1]]).tolist()
         starts.append(len(t_list))
 
+        ingest = getattr(server, "ingest_batch", None)
         for g in range(len(starts) - 1):
             lo, hi = starts[g], starts[g + 1]
             t = t_list[lo]
@@ -322,14 +391,22 @@ class FleetSimulation:
                 state.process_sighting(i, t)
                 if state.channel not in seen_channels:
                     seen_channels.append(state.channel)
+            delivered: List = []
             for channel in seen_channels:
-                for obj_id, delivered in channel.deliver_due(t):
-                    server.receive_update(obj_id, delivered, t)
+                delivered.extend(channel.deliver_due(t))
+            if delivered:
+                if ingest is not None:
+                    ingest(delivered, t)
+                else:
+                    for obj_id, message in delivered:
+                        server.receive_update(obj_id, message, t)
             predicted = server.predict_positions(
                 [state.lane.object_id for state, _ in batch], t
             )
             for (state, i), position in zip(batch, predicted):
                 state.record_error(i, position)
+            if executor is not None:
+                executor.on_tick(t)
 
 
 def run_fleet(

@@ -180,6 +180,12 @@ class SimulationResult:
         Histogram of why updates were sent.
     matcher_stats:
         Map-matcher counters (empty for protocols without a matcher).
+    service_stats:
+        Serving-tier counters attached by fleet runs against a sharded
+        :class:`~repro.service.facade.LocationService` backend (e.g. the
+        shard that ended up responsible for the object).  Empty — and
+        absent from :meth:`as_dict` — for plain single-server runs, so
+        pinned golden metrics are unaffected.
     """
 
     protocol_name: str
@@ -190,6 +196,7 @@ class SimulationResult:
     metrics: AccuracyMetrics
     update_reasons: Dict[str, int] = field(default_factory=dict)
     matcher_stats: Dict[str, int] = field(default_factory=dict)
+    service_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def updates_per_hour(self) -> float:
@@ -216,4 +223,6 @@ class SimulationResult:
             "duration_h": round(self.duration_h, 3),
         }
         out.update({k: round(v, 2) for k, v in self.metrics.as_dict().items()})
+        if self.service_stats:
+            out.update({f"svc_{k}": v for k, v in self.service_stats.items()})
         return out

@@ -24,18 +24,24 @@ from __future__ import annotations
 import ast
 import csv
 import json
+import math
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.mobility.scenarios import Scenario
 from repro.protocols.base import UpdateProtocol
 from repro.service.channel import MessageChannel
+from repro.service.facade import LocationService
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import ProtocolSimulation
+from repro.sim.fleet import FleetSimulation
 from repro.sim.metrics import SimulationResult
 from repro.sim.sweep import SweepPoint
+from repro.sim.workload import QueryWorkload, default_query_mix
 
 
 # --------------------------------------------------------------------------- #
@@ -133,6 +139,68 @@ class SweepTask:
 def _run_task(task: SweepTask) -> SweepPoint:
     """Module-level trampoline so tasks can cross process boundaries."""
     return task.run()
+
+
+def auto_region_size(lanes, shards: int) -> float:
+    """Routing cell size targeting ~8 grid-hash cells per shard.
+
+    Sized from the fleet's spatial extent so that shard routing stays
+    meaningful at any scenario scale (a fixed metre value degenerates to a
+    single cell on small-scale test runs).
+    """
+    mins = [lane.truth_trace.positions.min(axis=0) for lane in lanes if lane.truth_trace is not None]
+    maxs = [lane.truth_trace.positions.max(axis=0) for lane in lanes if lane.truth_trace is not None]
+    if not mins:
+        mins = [lane.sensor_trace.positions.min(axis=0) for lane in lanes]
+        maxs = [lane.sensor_trace.positions.max(axis=0) for lane in lanes]
+    lo = np.min(mins, axis=0)
+    hi = np.max(maxs, axis=0)
+    width = max(float(hi[0] - lo[0]), 1.0)
+    height = max(float(hi[1] - lo[1]), 1.0)
+    return max(100.0, math.sqrt(width * height / (8.0 * max(1, shards))))
+
+
+@dataclass(frozen=True)
+class QueryBenchSpec:
+    """One query-workload bench: a fleet, a sharded service, a query stream.
+
+    ``mix=None`` resolves to the scenario's default query mix
+    (:func:`repro.sim.workload.default_query_mix`): geofence-heavy for
+    pedestrian scenarios, nearest-heavy for city grids, range-heavy for
+    corridors.
+    """
+
+    scenario: str
+    protocol_id: str = "linear"
+    accuracy: float = 100.0
+    count: int = 25
+    shards: int = 4
+    scale: float = 1.0
+    seed: Optional[int] = None
+    #: Scenario-seed step between lanes: each object drives its own seeded
+    #: variant of the scenario, so the fleet spreads over the map instead of
+    #: platooning along one shared trace.  ``0`` shares a single trace.
+    seed_stride: int = 1
+    #: Routing cell size of the grid-hash policy; ``None`` auto-sizes from
+    #: the fleet's spatial extent (targeting ~8 cells per shard).
+    region_size: Optional[float] = None
+    queries_per_tick: float = 2.0
+    mix: Optional[Dict[str, float]] = None
+    k: int = 3
+    range_extent_m: float = 1000.0
+    geofence_radius_m: float = 500.0
+    workload_seed: int = 0
+
+    def build_workload(self) -> QueryWorkload:
+        """The :class:`QueryWorkload` this spec describes."""
+        return QueryWorkload(
+            queries_per_tick=self.queries_per_tick,
+            mix=self.mix if self.mix is not None else default_query_mix(self.scenario),
+            k=self.k,
+            range_extent_m=self.range_extent_m,
+            geofence_radius_m=self.geofence_radius_m,
+            seed=self.workload_seed,
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -314,6 +382,81 @@ class SweepRunner:
     ) -> SimulationResult:
         """One protocol over one scenario (the ablation studies' unit)."""
         return _simulate(scenario, protocol, channel)
+
+    def run_query_bench(self, spec: "QueryBenchSpec") -> Dict[str, object]:
+        """Run one query-workload replay against a live fleet.
+
+        Builds ``count`` objects over the spec's scenario — each on its own
+        seeded route variant, so the fleet spreads spatially — steps them
+        through the fleet loop against a sharded
+        :class:`~repro.service.facade.LocationService` backend while the
+        query workload fires at every tick, and returns one flat record:
+        fleet summary, workload report (throughput / latency), and the
+        service tier's per-shard load counters.  Runs in-process — the unit
+        of work is a single fleet, not a sweep of independent points.
+        """
+        from repro.sim.fleet import FleetLane
+
+        workload = spec.build_workload()
+        base_seed = ScenarioSpec(name=spec.scenario, scale=spec.scale, seed=spec.seed).seed
+        lanes = []
+        for n in range(spec.count):
+            lane_spec = ScenarioSpec(
+                name=spec.scenario,
+                scale=spec.scale,
+                seed=base_seed + n * spec.seed_stride,
+            )
+            scenario = lane_spec.build()
+            protocol = SimulationConfig(
+                protocol_id=spec.protocol_id, accuracy=spec.accuracy
+            ).build_protocol(scenario)
+            lanes.append(
+                FleetLane(
+                    object_id=f"{spec.scenario}/{spec.protocol_id}/{n}",
+                    protocol=protocol,
+                    sensor_trace=scenario.sensor_trace,
+                    truth_trace=scenario.true_trace,
+                )
+            )
+        region = spec.region_size
+        if region is None:
+            region = auto_region_size(lanes, spec.shards)
+        service = LocationService(n_shards=spec.shards, region_size=region)
+        fleet = FleetSimulation(lanes, server=service, query_workload=workload).run()
+        service_stats = dict(fleet.service_stats)
+        per_shard = service_stats.pop("per_shard", [])
+        record: Dict[str, object] = {
+            "scenario": spec.scenario,
+            "protocol": spec.protocol_id,
+            "accuracy_m": spec.accuracy,
+            "objects": len(lanes),
+            "shards": spec.shards,
+            "scale": spec.scale,
+            "seed": base_seed,
+            "region_size_m": round(region, 1),
+            "queries_per_tick": workload.queries_per_tick,
+            "mix": dict(workload.mix),
+            "updates_per_object_hour": round(fleet.updates_per_object_hour, 2),
+            "workload": fleet.workload.as_dict() if fleet.workload else {},
+            "service": service_stats,
+            "per_shard": per_shard,
+        }
+        return record
+
+    def write_query_bench_artifact(
+        self,
+        record: Dict[str, object],
+        name: str,
+        out_dir: Optional[str] = None,
+    ) -> str:
+        """Write a query-bench record as a JSON artifact; returns the path."""
+        out_dir = out_dir or self.artifact_dir or "."
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"name": name, **record}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
 
     # ------------------------------------------------------------------ #
     # artifacts

@@ -1,0 +1,251 @@
+"""Query workloads replayed against the location service mid-simulation.
+
+The paper evaluates the *update* side of the location service; this module
+exercises the *query* side: a :class:`QueryWorkload` describes a
+deterministic stream of application queries (a range / k-nearest / geofence
+mix), and :class:`WorkloadExecutor` replays it against the fleet's server
+backend at every simulation tick — the way a live service answers "find the
+nearest taxi" requests while updates keep streaming in.
+
+The workload is read-only with respect to the simulation: queries never
+change server records, so a fleet run with a workload attached produces
+bit-identical :class:`~repro.sim.metrics.SimulationResult`\\ s to the same
+run without one (asserted by the test-suite).  The executor works against
+both backends — the sharded :class:`~repro.service.facade.LocationService`
+(index-backed) and a plain
+:class:`~repro.service.server.LocationServer` (linear scans via
+:mod:`repro.service.queries`) — drawing the identical query stream either
+way, which is what makes backend comparisons and the query benchmark fair.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.geo.bbox import BoundingBox
+from repro.service.queries import geofence_query, nearest_object_query, range_query
+
+#: The query kinds a workload can mix.
+QUERY_KINDS = ("range", "nearest", "geofence")
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A deterministic application-query stream.
+
+    Parameters
+    ----------
+    queries_per_tick:
+        Mean number of queries issued per simulation tick; fractional rates
+        are honoured exactly over time via an accumulator (e.g. ``0.25``
+        issues one query every fourth tick).
+    mix:
+        Relative weights of the query kinds (``range`` / ``nearest`` /
+        ``geofence``).  Weights need not sum to one.
+    k:
+        Result size for k-nearest queries.
+    range_extent_m:
+        Edge length of range-query boxes in metres.
+    geofence_radius_m:
+        Radius of geofence queries in metres.
+    margin:
+        Accuracy margin forwarded to range queries.
+    seed:
+        Seed of the query stream (centres, kinds, interleaving).
+    """
+
+    queries_per_tick: float = 1.0
+    mix: Mapping[str, float] = field(
+        default_factory=lambda: {"range": 1.0, "nearest": 1.0, "geofence": 1.0}
+    )
+    k: int = 3
+    range_extent_m: float = 1000.0
+    geofence_radius_m: float = 500.0
+    margin: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queries_per_tick < 0:
+            raise ValueError("queries_per_tick must be non-negative")
+        unknown = set(self.mix) - set(QUERY_KINDS)
+        if unknown:
+            raise ValueError(f"unknown query kinds in mix: {sorted(unknown)}")
+        weights = [float(self.mix.get(kind, 0.0)) for kind in QUERY_KINDS]
+        if any(w < 0 for w in weights):
+            raise ValueError("mix weights must be non-negative")
+        if sum(weights) <= 0:
+            raise ValueError("mix needs at least one positive weight")
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.range_extent_m <= 0 or self.geofence_radius_m <= 0:
+            raise ValueError("query extents must be positive")
+
+    @classmethod
+    def parse_mix(cls, text: str) -> Dict[str, float]:
+        """Parse the CLI mix format ``range=2,nearest=1,geofence=0.5``."""
+        mix: Dict[str, float] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"expected kind=weight, got {part!r}")
+            kind, _, weight = part.partition("=")
+            mix[kind.strip()] = float(weight)
+        if not mix:
+            raise ValueError("empty query mix")
+        return mix
+
+
+@dataclass
+class WorkloadReport:
+    """Outcome of replaying a query workload over one simulation."""
+
+    ticks: int = 0
+    queries: int = 0
+    hits: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    hits_by_kind: Dict[str, int] = field(default_factory=dict)
+    query_seconds: float = 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Observed query throughput (wall-clock)."""
+        return self.queries / self.query_seconds if self.query_seconds > 0 else 0.0
+
+    @property
+    def mean_query_seconds(self) -> float:
+        """Mean wall-clock latency of one query."""
+        return self.query_seconds / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for reports and artifacts."""
+        out: Dict[str, object] = {
+            "ticks": self.ticks,
+            "queries": self.queries,
+            "hits": self.hits,
+            "query_seconds": round(self.query_seconds, 6),
+            "mean_query_us": round(self.mean_query_seconds * 1e6, 3),
+            "queries_per_second": round(self.queries_per_second, 1),
+        }
+        for kind in QUERY_KINDS:
+            out[f"{kind}_queries"] = self.by_kind.get(kind, 0)
+        return out
+
+
+class WorkloadExecutor:
+    """Replays a :class:`QueryWorkload` against one server backend.
+
+    Parameters
+    ----------
+    workload:
+        The query stream description.
+    backend:
+        A :class:`LocationService` (index-backed queries) or any object with
+        the :class:`~repro.service.server.LocationServer` query surface
+        (answered through the linear reference scans).
+    area:
+        Bounding box the query centres are drawn from — typically the
+        bounding box of the fleet's traces.
+    record_answers:
+        When set, every query's answer is kept on :attr:`answers` (used by
+        equivalence tests and the benchmark; off by default to stay O(1) in
+        memory).
+    """
+
+    def __init__(
+        self,
+        workload: QueryWorkload,
+        backend,
+        area: BoundingBox,
+        record_answers: bool = False,
+    ):
+        self.workload = workload
+        self.backend = backend
+        self.area = area
+        self.report = WorkloadReport()
+        self.record_answers = record_answers
+        self.answers: List[Tuple[float, str, object]] = []
+        self._rng = random.Random(workload.seed)
+        self._credit = 0.0
+        self._weights = [float(workload.mix.get(kind, 0.0)) for kind in QUERY_KINDS]
+        # Capability dispatch (mirrors the fleet loop's ingest_batch duck
+        # typing): any backend exposing the indexed query surface gets it.
+        self._service = hasattr(backend, "nearest_objects")
+
+    def on_tick(self, time: float) -> None:
+        """Issue this tick's queries at simulation time *time*."""
+        self.report.ticks += 1
+        self._credit += self.workload.queries_per_tick
+        n = int(self._credit)
+        if n <= 0:
+            return
+        self._credit -= n
+        for _ in range(n):
+            self._one_query(time)
+
+    def _one_query(self, time: float) -> None:
+        rng = self._rng
+        workload = self.workload
+        kind = rng.choices(QUERY_KINDS, weights=self._weights)[0]
+        cx = rng.uniform(self.area.min_x, self.area.max_x)
+        cy = rng.uniform(self.area.min_y, self.area.max_y)
+        started = _time.perf_counter()
+        if kind == "range":
+            half = workload.range_extent_m / 2.0
+            box = BoundingBox(cx - half, cy - half, cx + half, cy + half)
+            if self._service:
+                answer = self.backend.range_query(box, time, margin=workload.margin)
+            else:
+                answer = range_query(self.backend, box, time, margin=workload.margin)
+        elif kind == "nearest":
+            if self._service:
+                answer = self.backend.nearest_objects((cx, cy), time, k=workload.k)
+            else:
+                answer = nearest_object_query(self.backend, (cx, cy), time, k=workload.k)
+        else:
+            radius = workload.geofence_radius_m
+            if self._service:
+                answer = self.backend.geofence_query((cx, cy), radius, time)
+            else:
+                answer = geofence_query(self.backend, (cx, cy), radius, time)
+        self.report.query_seconds += _time.perf_counter() - started
+        self.report.queries += 1
+        self.report.hits += len(answer)
+        self.report.by_kind[kind] = self.report.by_kind.get(kind, 0) + 1
+        self.report.hits_by_kind[kind] = self.report.hits_by_kind.get(kind, 0) + len(answer)
+        if self.record_answers:
+            self.answers.append((time, kind, answer))
+
+
+def default_query_mix(scenario_name: Optional[str]) -> Dict[str, float]:
+    """A plausible query mix for a library scenario.
+
+    Pedestrian scenarios skew towards geofences ("address all users inside
+    the store"), dense city driving towards nearest-taxi queries, corridor /
+    freeway scenarios towards range queries over road stretches.  Unknown
+    names get the balanced default.
+    """
+    from repro.experiments.library import get_entry  # runtime: library sits above sim
+
+    balanced = {"range": 1.0, "nearest": 1.0, "geofence": 1.0}
+    if scenario_name is None:
+        return balanced
+    try:
+        entry = get_entry(scenario_name)
+    except ValueError:
+        return balanced
+    if entry.query_mix:
+        return dict(entry.query_mix)
+    knobs = dict(entry.knobs)
+    topology = str(knobs.get("topology", ""))
+    if topology == "footpath":
+        return {"range": 0.5, "nearest": 1.0, "geofence": 2.5}
+    if topology in ("grid", "radial"):
+        return {"range": 1.0, "nearest": 2.5, "geofence": 0.5}
+    if topology in ("corridor", "interurban", "mixed"):
+        return {"range": 2.5, "nearest": 1.0, "geofence": 0.5}
+    return balanced

@@ -37,7 +37,12 @@ class GridIndex(SpatialIndex[T]):
             raise ValueError("cell_size must be positive")
         self.cell_size = float(cell_size)
         self._cells: Dict[Tuple[int, int], List[IndexedItem[T]]] = defaultdict(list)
-        self._items: List[IndexedItem[T]] = []
+        # Items live in an insertion-ordered dict keyed by a serial so that
+        # removal is O(covered cells) instead of O(n) list surgery.
+        self._items: Dict[int, IndexedItem[T]] = {}
+        self._serial = 0
+        self._by_key: Dict[T, List[int]] = defaultdict(list)
+        self._item_cells: Dict[int, List[Tuple[int, int]]] = {}
         self._occupied: Optional[Tuple[int, int, int, int]] = None
         if items is not None:
             for item in items:
@@ -48,7 +53,10 @@ class GridIndex(SpatialIndex[T]):
     # ------------------------------------------------------------------ #
     def insert(self, item: IndexedItem[T]) -> None:
         """Register *item* with every grid cell its bounding box overlaps."""
-        self._items.append(item)
+        serial = self._serial
+        self._serial += 1
+        self._items[serial] = item
+        self._by_key[item.key].append(serial)
         min_cx, min_cy = self._cell_of(item.bounds.min_x, item.bounds.min_y)
         max_cx, max_cy = self._cell_of(item.bounds.max_x, item.bounds.max_y)
         if self._occupied is None:
@@ -60,14 +68,37 @@ class GridIndex(SpatialIndex[T]):
             )
         # The occupied extent now covers the item, so the clamp in
         # _cells_for_box is an identity here.
-        for cell in self._cells_for_box(item.bounds):
+        covered = list(self._cells_for_box(item.bounds))
+        self._item_cells[serial] = covered
+        for cell in covered:
             self._cells[cell].append(item)
+
+    def remove(self, key: T) -> int:
+        """Remove every item stored under *key*; returns the number removed.
+
+        The occupied-cell extent is left untouched (it remains a valid,
+        merely conservative clamp for :meth:`_cells_for_box`), so removal
+        never has to rescan the surviving items.
+        """
+        serials = self._by_key.pop(key, None)
+        if not serials:
+            return 0
+        for serial in serials:
+            item = self._items.pop(serial)
+            for cell in self._item_cells.pop(serial):
+                bucket = self._cells.get(cell)
+                if bucket is None:
+                    continue
+                bucket[:] = [other for other in bucket if other is not item]
+                if not bucket:
+                    del self._cells[cell]
+        return len(serials)
 
     def query_bbox(self, box: BoundingBox) -> list[IndexedItem[T]]:
         """All items whose bounding boxes intersect *box*."""
         seen: Set[int] = set()
         out: List[IndexedItem[T]] = []
-        for cell in self._cells_for_box(box):
+        for cell in self._query_cells(box):
             for item in self._cells.get(cell, ()):
                 marker = id(item)
                 if marker in seen:
@@ -77,9 +108,40 @@ class GridIndex(SpatialIndex[T]):
                     out.append(item)
         return out
 
+    def _query_cells(self, box: BoundingBox) -> Iterable[Tuple[int, int]]:
+        """Cells to visit for *box*, in lexicographic (cx, cy) order.
+
+        Large boxes over a sparse index (the expanding nearest-neighbour
+        searches of a mostly-empty moving-object index) would enumerate far
+        more empty cells than occupied ones; in that regime the occupied
+        cells are filtered directly instead.  Both paths visit the same
+        non-empty cells in the same order, so results are identical.
+        """
+        if self._occupied is None:
+            return ()
+        min_cx, min_cy = self._cell_of(box.min_x, box.min_y)
+        max_cx, max_cy = self._cell_of(box.max_x, box.max_y)
+        occ_min_cx, occ_min_cy, occ_max_cx, occ_max_cy = self._occupied
+        min_cx, min_cy = max(min_cx, occ_min_cx), max(min_cy, occ_min_cy)
+        max_cx, max_cy = min(max_cx, occ_max_cx), min(max_cy, occ_max_cy)
+        if min_cx > max_cx or min_cy > max_cy:
+            return ()
+        n_cells = (max_cx - min_cx + 1) * (max_cy - min_cy + 1)
+        if n_cells > len(self._cells):
+            return sorted(
+                cell
+                for cell in self._cells
+                if min_cx <= cell[0] <= max_cx and min_cy <= cell[1] <= max_cy
+            )
+        return (
+            (cx, cy)
+            for cx in range(min_cx, max_cx + 1)
+            for cy in range(min_cy, max_cy + 1)
+        )
+
     def items(self) -> List[IndexedItem[T]]:
         """Every stored item, in insertion order."""
-        return list(self._items)
+        return list(self._items.values())
 
     def __len__(self) -> int:
         return len(self._items)

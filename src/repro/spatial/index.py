@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Generic, Hashable, Iterable, Optional, Sequence, TypeVar
+from typing import Callable, Generic, Hashable, Optional, Sequence, TypeVar
 
 from repro.geo.bbox import BoundingBox
 from repro.geo.vec import Vec2, as_vec
@@ -53,6 +53,16 @@ class SpatialIndex(abc.ABC, Generic[T]):
     @abc.abstractmethod
     def query_bbox(self, box: BoundingBox) -> list[IndexedItem[T]]:
         """All items whose bounding boxes intersect *box*."""
+
+    def remove(self, key: T) -> int:
+        """Remove every item stored under *key*; returns the number removed.
+
+        Removal is optional: static indexes (the STR-packed R-tree) do not
+        support it.  :class:`~repro.spatial.grid.GridIndex` implements it so
+        that incremental indexes over moving objects (the location service's
+        query engine) can relocate items cheaply.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support removal")
 
     @abc.abstractmethod
     def items(self) -> list[IndexedItem[T]]:

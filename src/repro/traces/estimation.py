@@ -12,7 +12,7 @@ window least-squares estimate.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Tuple
 
 import numpy as np
 

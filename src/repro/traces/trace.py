@@ -10,7 +10,7 @@ object allocation would dominate the run time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Iterable, Iterator, Sequence, Union
 
 import numpy as np
 

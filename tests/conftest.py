@@ -6,7 +6,6 @@ scale so the whole suite stays fast while still exercising the full pipeline.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for repro.geo.bbox."""
 
-import numpy as np
 import pytest
 
 from repro.geo.bbox import BoundingBox

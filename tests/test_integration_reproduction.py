@@ -7,7 +7,6 @@ guarantee.  They use reduced-scale scenarios so the whole suite stays fast;
 the benchmarks run the same experiments at full scale.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.figures import figure_for_scenario
@@ -16,7 +15,7 @@ from repro.mapmatching.matcher import MatcherConfig
 from repro.protocols.mapbased import MapBasedConfig, MapBasedProtocol
 from repro.roadmap.history import HistoryMapLearner
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import ProtocolSimulation, run_simulation
+from repro.sim.engine import ProtocolSimulation
 
 
 def run_protocol(scenario, protocol_id, accuracy):

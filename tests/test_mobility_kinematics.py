@@ -7,7 +7,7 @@ import pytest
 
 from repro.mobility.kinematics import CITY_DRIVER, DriverProfile, SpeedController
 from repro.roadmap.generators import city_grid_map, straight_road_map
-from repro.roadmap.routing import Route, RoutePlanner
+from repro.roadmap.routing import RoutePlanner
 
 
 @pytest.fixture(scope="module")

@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.experiments.library import GENERATED_SPECS, scenario_names
+from repro.experiments.library import scenario_names
 from repro.mobility.generator import (
     REGIMES,
     AgentSpec,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.geo.bbox import BoundingBox
 from repro.roadmap.builder import RoadMapBuilder
-from repro.roadmap.elements import RoadClass
 from repro.roadmap.graph import RoadMap
 
 

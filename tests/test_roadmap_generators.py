@@ -1,6 +1,5 @@
 """Unit tests for repro.roadmap.generators."""
 
-import math
 import random
 
 import networkx as nx

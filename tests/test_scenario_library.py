@@ -6,7 +6,6 @@ import pytest
 from repro.experiments.library import (
     GENERATED_SPECS,
     FleetMix,
-    ScenarioEntry,
     build_library_scenario,
     describe_scenarios,
     fleet_lanes,

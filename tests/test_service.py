@@ -8,7 +8,12 @@ from repro.protocols.base import ObjectState, UpdateMessage, UpdateReason
 from repro.protocols.linear import LinearPredictionProtocol
 from repro.protocols.prediction import LinearPrediction, StaticPrediction
 from repro.service.channel import MessageChannel
-from repro.service.queries import nearest_object_query, position_query, range_query
+from repro.service.queries import (
+    geofence_query,
+    nearest_object_query,
+    position_query,
+    range_query,
+)
 from repro.service.server import LocationServer
 from repro.service.source import LocationSource
 
@@ -107,6 +112,22 @@ class TestLocationServer:
         assert not server.is_registered("y")
         assert server.object_ids() == ["x"]
 
+    def test_adopt_and_remove_move_records_between_servers(self):
+        """The shard-handoff primitives preserve the record wholesale."""
+        a, b = LocationServer(), LocationServer()
+        a.register_object("car", prediction=StaticPrediction(), accuracy=30.0)
+        a.receive_update("car", make_message(position=(3.0, 4.0)), time=5.0)
+        record = a.remove_object("car")
+        assert not a.is_registered("car")
+        b.adopt(record)
+        assert b.is_registered("car")
+        moved = b.tracked_object("car")
+        assert moved is record
+        assert moved.updates_received == 1
+        assert moved.last_update_time == 5.0
+        with pytest.raises(ValueError):
+            b.adopt(record)
+
 
 class TestLocationSource:
     def test_source_transmits_protocol_updates(self, straight_trace):
@@ -171,3 +192,53 @@ class TestQueries:
 
     def test_nearest_object_query_k_zero(self, populated_server):
         assert nearest_object_query(populated_server, (0.0, 0.0), time=0.0, k=0) == []
+
+    def test_nearest_tie_break_by_object_id(self):
+        """Equidistant objects sort by id, independent of registration order."""
+        for order in (("z", "m", "a"), ("a", "m", "z"), ("m", "z", "a")):
+            server = LocationServer()
+            offsets = {"z": (10.0, 0.0), "m": (-10.0, 0.0), "a": (0.0, 10.0)}
+            for name in order:
+                server.register_object(name, prediction=StaticPrediction())
+                server.receive_update(name, make_message(position=offsets[name]), 0.0)
+            nearest = nearest_object_query(server, (0.0, 0.0), time=0.0, k=2)
+            assert [name for name, _ in nearest] == ["a", "m"]
+
+    def test_geofence_query(self, populated_server):
+        hits = geofence_query(populated_server, (0.0, 0.0), 150.0, time=0.0)
+        assert [name for name, _ in hits] == ["taxi-1", "taxi-2"]
+        assert hits[0][1] == pytest.approx(0.0)
+        assert hits[1][1] == pytest.approx(100.0)
+
+    def test_geofence_negative_radius_is_empty(self, populated_server):
+        assert geofence_query(populated_server, (0.0, 0.0), -5.0, time=0.0) == []
+
+
+class TestQueryEdgeCases:
+    """Satellite regressions: unknown ids and empty servers are well-defined."""
+
+    def test_position_query_unknown_object(self):
+        server = LocationServer()
+        result = position_query(server, "ghost", time=0.0)
+        assert result.object_id == "ghost"
+        assert result.position is None
+        assert result.accuracy == float("inf")
+        assert result.last_update_time is None
+
+    def test_queries_on_empty_server(self):
+        server = LocationServer()
+        box = BoundingBox(-100.0, -100.0, 100.0, 100.0)
+        assert range_query(server, box, time=0.0) == []
+        assert nearest_object_query(server, (0.0, 0.0), time=0.0, k=5) == []
+        assert geofence_query(server, (0.0, 0.0), 100.0, time=0.0) == []
+
+    def test_queries_before_any_update(self):
+        server = LocationServer()
+        server.register_object("quiet", prediction=StaticPrediction(), accuracy=25.0)
+        box = BoundingBox(-100.0, -100.0, 100.0, 100.0)
+        assert range_query(server, box, time=0.0, margin=1.0) == []
+        assert nearest_object_query(server, (0.0, 0.0), time=0.0) == []
+        assert geofence_query(server, (0.0, 0.0), 1e6, time=0.0) == []
+        result = position_query(server, "quiet", time=0.0)
+        assert result.position is None
+        assert result.accuracy == 25.0

@@ -1,0 +1,186 @@
+"""Tests for the incremental query engine (and GridIndex keyed removal)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.vec import distance
+from repro.service.query_engine import QueryEngine
+from repro.spatial.grid import GridIndex
+from repro.spatial.index import IndexedItem
+from repro.spatial.rtree import STRtree
+
+
+def _point_item(key, x, y):
+    p = np.array([x, y], dtype=float)
+    return IndexedItem(key=key, bounds=BoundingBox(x, y, x, y), distance=lambda q: distance(p, q))
+
+
+def _positions(rng, n, extent=10_000.0):
+    pts = rng.uniform(0.0, extent, size=(n, 2))
+    return {f"obj-{i:04d}": pts[i] for i in range(n)}
+
+
+class TestGridIndexRemove:
+    def test_remove_returns_count_and_shrinks(self):
+        index = GridIndex(cell_size=100.0)
+        index.insert(_point_item("a", 10.0, 10.0))
+        index.insert(_point_item("b", 20.0, 20.0))
+        assert len(index) == 2
+        assert index.remove("a") == 1
+        assert len(index) == 1
+        assert [item.key for item in index.items()] == ["b"]
+
+    def test_remove_unknown_key_is_noop(self):
+        index = GridIndex(cell_size=100.0)
+        index.insert(_point_item("a", 10.0, 10.0))
+        assert index.remove("zz") == 0
+        assert len(index) == 1
+
+    def test_removed_item_leaves_queries(self):
+        index = GridIndex(cell_size=100.0)
+        index.insert(_point_item("a", 10.0, 10.0))
+        index.insert(_point_item("b", 500.0, 500.0))
+        box = BoundingBox(0.0, 0.0, 50.0, 50.0)
+        assert [item.key for item in index.query_bbox(box)] == ["a"]
+        index.remove("a")
+        assert index.query_bbox(box) == []
+        nearest = index.nearest((0.0, 0.0))
+        assert nearest is not None and nearest[0].key == "b"
+
+    def test_remove_duplicate_keys_removes_all(self):
+        index = GridIndex(cell_size=100.0)
+        index.insert(_point_item("dup", 10.0, 10.0))
+        index.insert(_point_item("dup", 900.0, 900.0))
+        assert index.remove("dup") == 2
+        assert len(index) == 0
+
+    def test_reinsert_after_remove(self):
+        index = GridIndex(cell_size=100.0)
+        index.insert(_point_item("a", 10.0, 10.0))
+        index.remove("a")
+        index.insert(_point_item("a", 700.0, 700.0))
+        nearest = index.nearest((710.0, 710.0))
+        assert nearest[0].key == "a"
+        assert nearest[1] == pytest.approx(distance((700.0, 700.0), (710.0, 710.0)))
+
+    def test_rtree_remove_unsupported(self):
+        tree = STRtree([_point_item("a", 10.0, 10.0)])
+        with pytest.raises(NotImplementedError):
+            tree.remove("a")
+
+
+class TestQueryEngineSync:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryEngine(cell_size=0.0)
+
+    def test_first_sync_registers_everything(self):
+        engine = QueryEngine(cell_size=500.0)
+        rng = np.random.default_rng(0)
+        positions = _positions(rng, 50)
+        moved = engine.sync(positions, time=0.0)
+        assert moved == 50
+        assert len(engine) == 50
+        assert engine.synced_time == 0.0
+
+    def test_within_cell_moves_are_free(self):
+        engine = QueryEngine(cell_size=500.0)
+        engine.sync({"a": np.array([100.0, 100.0])}, time=0.0)
+        # 100 -> 300 stays in cell (0, 0): position refreshed, no reinsertion.
+        moved = engine.sync({"a": np.array([300.0, 300.0])}, time=1.0)
+        assert moved == 0
+        np.testing.assert_array_equal(engine.position_of("a"), [300.0, 300.0])
+        assert engine.range_query(BoundingBox(250.0, 250.0, 350.0, 350.0)) == ["a"]
+
+    def test_cell_crossing_reindexes(self):
+        engine = QueryEngine(cell_size=500.0)
+        engine.sync({"a": np.array([100.0, 100.0])}, time=0.0)
+        moved = engine.sync({"a": np.array([600.0, 100.0])}, time=1.0)
+        assert moved == 1
+        assert engine.range_query(BoundingBox(550.0, 50.0, 650.0, 150.0)) == ["a"]
+        assert engine.range_query(BoundingBox(50.0, 50.0, 150.0, 150.0)) == []
+
+    def test_vanished_objects_are_dropped(self):
+        engine = QueryEngine(cell_size=500.0)
+        engine.sync({"a": np.array([1.0, 1.0]), "b": np.array([2.0, 2.0])}, time=0.0)
+        engine.sync({"b": np.array([2.0, 2.0])}, time=1.0)
+        assert len(engine) == 1
+        assert engine.object_ids() == ["b"]
+        assert engine.drops == 1
+        assert engine.k_nearest((0.0, 0.0), k=5) == [("b", distance((2.0, 2.0), (0.0, 0.0)))]
+
+
+class TestQueryEngineQueries:
+    @pytest.fixture()
+    def engine_and_positions(self):
+        engine = QueryEngine(cell_size=400.0)
+        rng = np.random.default_rng(7)
+        positions = _positions(rng, 200)
+        engine.sync(positions, time=0.0)
+        return engine, positions
+
+    def test_range_matches_brute_force(self, engine_and_positions):
+        engine, positions = engine_and_positions
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            lo = rng.uniform(0.0, 8000.0, size=2)
+            extent = rng.uniform(100.0, 3000.0, size=2)
+            box = BoundingBox(lo[0], lo[1], lo[0] + extent[0], lo[1] + extent[1])
+            expected = sorted(
+                oid for oid, p in positions.items() if box.contains_point(p)
+            )
+            assert engine.range_query(box) == expected
+
+    def test_k_nearest_matches_brute_force(self, engine_and_positions):
+        engine, positions = engine_and_positions
+        rng = np.random.default_rng(2)
+        for k in (1, 3, 10, 250):
+            q = rng.uniform(0.0, 10_000.0, size=2)
+            expected = sorted(
+                ((oid, distance(p, q)) for oid, p in positions.items()),
+                key=lambda pair: (pair[1], pair[0]),
+            )[:k]
+            assert engine.k_nearest(q, k=k) == expected
+
+    def test_within_radius_matches_brute_force(self, engine_and_positions):
+        engine, positions = engine_and_positions
+        rng = np.random.default_rng(3)
+        for radius in (50.0, 500.0, 2500.0):
+            q = rng.uniform(0.0, 10_000.0, size=2)
+            expected = sorted(
+                (
+                    (oid, distance(p, q))
+                    for oid, p in positions.items()
+                    if distance(p, q) <= radius
+                ),
+                key=lambda pair: (pair[1], pair[0]),
+            )
+            assert engine.within_radius(q, radius) == expected
+
+    def test_k_zero_and_negative_radius(self, engine_and_positions):
+        engine, _ = engine_and_positions
+        assert engine.k_nearest((0.0, 0.0), k=0) == []
+        assert engine.within_radius((0.0, 0.0), -1.0) == []
+
+    def test_empty_engine_queries(self):
+        engine = QueryEngine()
+        assert engine.range_query(BoundingBox(0.0, 0.0, 1.0, 1.0)) == []
+        assert engine.k_nearest((0.0, 0.0), k=3) == []
+        assert engine.within_radius((0.0, 0.0), 100.0) == []
+
+    def test_tie_break_is_insertion_order_independent(self):
+        """Equidistant objects at the k-th place sort by id, not by index luck."""
+        # Four objects on a circle around the query point, all at distance 100.
+        offsets = [(100.0, 0.0), (-100.0, 0.0), (0.0, 100.0), (0.0, -100.0)]
+        names = ["d", "b", "a", "c"]
+        for order in ([0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1]):
+            engine = QueryEngine(cell_size=150.0)
+            positions = {
+                names[i]: np.array([500.0 + offsets[i][0], 500.0 + offsets[i][1]])
+                for i in order
+            }
+            engine.sync(positions, time=0.0)
+            result = engine.k_nearest((500.0, 500.0), k=2)
+            assert [oid for oid, _ in result] == ["a", "b"]
+            assert all(d == pytest.approx(100.0) for _, d in result)

@@ -1,0 +1,330 @@
+"""Tests for the sharded location-service tier (policy, facade, handoff)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BoundingBox
+from repro.protocols.base import ObjectState, UpdateMessage, UpdateReason
+from repro.protocols.prediction import LinearPrediction, StaticPrediction
+from repro.service.facade import LocationService
+from repro.service.queries import (
+    geofence_query,
+    nearest_object_query,
+    position_query,
+    range_query,
+)
+from repro.service.server import LocationServer
+from repro.service.sharding import GridHashPolicy
+
+
+def make_message(sequence=0, time=0.0, position=(0.0, 0.0), velocity=(0.0, 0.0)):
+    state = ObjectState(
+        time=time, position=position, velocity=velocity,
+        speed=float(np.hypot(*velocity)),
+    )
+    return UpdateMessage(sequence=sequence, state=state, reason=UpdateReason.THRESHOLD)
+
+
+class TestGridHashPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridHashPolicy(0)
+        with pytest.raises(ValueError):
+            GridHashPolicy(4, region_size=0.0)
+
+    def test_point_mapping_is_deterministic_and_in_range(self):
+        policy = GridHashPolicy(8, region_size=1000.0)
+        rng = np.random.default_rng(0)
+        for p in rng.uniform(-50_000.0, 50_000.0, size=(200, 2)):
+            shard = policy.shard_for_point(p)
+            assert 0 <= shard < 8
+            assert shard == policy.shard_for_point(p)
+
+    def test_same_cell_same_shard(self):
+        policy = GridHashPolicy(4, region_size=1000.0)
+        assert policy.shard_for_point((10.0, 10.0)) == policy.shard_for_point((990.0, 990.0))
+
+    def test_id_hash_is_stable_and_in_range(self):
+        policy = GridHashPolicy(4)
+        for oid in ("car-1", "taxi/7", ""):
+            assert 0 <= policy.shard_for_id(oid) < 4
+            assert policy.shard_for_id(oid) == policy.shard_for_id(oid)
+        # CRC32-based, so the assignment survives hash randomisation; pin one.
+        assert GridHashPolicy(4).shard_for_id("car-1") == GridHashPolicy(4).shard_for_id("car-1")
+
+    def test_shards_for_box_covers_contained_points(self):
+        policy = GridHashPolicy(5, region_size=700.0)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            lo = rng.uniform(-10_000.0, 10_000.0, size=2)
+            extent = rng.uniform(10.0, 5000.0, size=2)
+            box = BoundingBox(lo[0], lo[1], lo[0] + extent[0], lo[1] + extent[1])
+            shards = policy.shards_for_box(box)
+            for p in rng.uniform([box.min_x, box.min_y], [box.max_x, box.max_y], size=(20, 2)):
+                assert policy.shard_for_point(p) in shards
+
+    def test_single_shard_routes_trivially(self):
+        policy = GridHashPolicy(1)
+        assert policy.shards_for_box(BoundingBox(0.0, 0.0, 1e7, 1e7)) == [0]
+        assert policy.shard_for_point((123.0, 456.0)) == 0
+
+    def test_huge_box_falls_back_to_all_shards(self):
+        policy = GridHashPolicy(4, region_size=100.0)
+        assert policy.shards_for_box(BoundingBox(0.0, 0.0, 1e6, 1e6)) == [0, 1, 2, 3]
+
+
+class TestLocationServiceSurface:
+    """The facade honours the LocationServer contract exactly."""
+
+    def test_register_twice_rejected(self):
+        service = LocationService(n_shards=4)
+        service.register_object("a")
+        with pytest.raises(ValueError):
+            service.register_object("a")
+
+    def test_policy_shard_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LocationService(n_shards=4, policy=GridHashPolicy(2))
+
+    def test_predict_before_update_is_none(self):
+        service = LocationService(n_shards=2)
+        service.register_object("a", prediction=LinearPrediction())
+        assert service.predict_position("a", 10.0) is None
+        assert service.all_positions(10.0) == {}
+
+    def test_unknown_object_raises_keyerror(self):
+        service = LocationService(n_shards=2)
+        with pytest.raises(KeyError):
+            service.tracked_object("nope")
+        with pytest.raises(KeyError):
+            service.predict_position("nope", 0.0)
+
+    def test_receive_and_predict_matches_single_server(self):
+        single = LocationServer()
+        service = LocationService(n_shards=4)
+        for backend in (single, service):
+            backend.register_object("a", prediction=LinearPrediction(), accuracy=100.0)
+            backend.receive_update("a", make_message(velocity=(10.0, 0.0)), time=0.0)
+        for t in (0.0, 5.0, 60.0):
+            np.testing.assert_array_equal(
+                single.predict_position("a", t), service.predict_position("a", t)
+            )
+        assert service.tracked_object("a").updates_received == 1
+        assert service.object_ids() == ["a"]
+        assert service.is_registered("a")
+        assert not service.is_registered("b")
+
+    def test_predict_positions_batch(self):
+        service = LocationService(n_shards=3)
+        service.register_object("a", prediction=StaticPrediction())
+        service.register_object("b", prediction=StaticPrediction())
+        service.receive_update("a", make_message(position=(5.0, 5.0)), time=0.0)
+        batch = service.predict_positions(["a", "b"], 10.0)
+        np.testing.assert_array_equal(batch[0], [5.0, 5.0])
+        assert batch[1] is None
+
+
+class TestHandoff:
+    def test_update_across_boundary_moves_object(self):
+        service = LocationService(n_shards=4, region_size=1000.0)
+        service.register_object("a", prediction=StaticPrediction())
+        service.receive_update("a", make_message(position=(100.0, 100.0)), time=0.0)
+        first = service.home_shard("a")
+        assert first == service.policy.shard_for_point((100.0, 100.0))
+        # An update far away re-homes the object to the new region's shard.
+        service.receive_update(
+            "a", make_message(sequence=1, position=(5100.0, 100.0), time=10.0), time=10.0
+        )
+        second = service.home_shard("a")
+        assert second == service.policy.shard_for_point((5100.0, 100.0))
+        record = service.tracked_object("a")
+        assert record.updates_received == 2
+        if first != second:
+            assert service.loads[first].handoffs_out == 1
+            assert service.loads[second].handoffs_in == 1
+
+    def test_drift_handoff_at_query_time(self):
+        """A moving prediction crosses the boundary without a new update."""
+        service = LocationService(n_shards=4, region_size=1000.0)
+        service.register_object("a", prediction=LinearPrediction())
+        service.receive_update("a", make_message(velocity=(100.0, 0.0)), time=0.0)
+        before = service.home_shard("a")
+        assert before == service.policy.shard_for_point((0.0, 0.0))
+        # At t=50 the prediction is at x=5000, five regions to the right.
+        service.prepare(50.0)
+        after = service.home_shard("a")
+        assert after == service.policy.shard_for_point((5000.0, 0.0))
+        # The query index serves the object from its new home.
+        assert service.range_query(BoundingBox(4900.0, -100.0, 5100.0, 100.0), 50.0) == ["a"]
+        if before != after:
+            assert sum(load.handoffs_in for load in service.loads) >= 1
+
+    def test_handoff_preserves_record_identity(self):
+        service = LocationService(n_shards=4, region_size=500.0)
+        record = service.register_object("a", prediction=LinearPrediction(), accuracy=42.0)
+        service.receive_update("a", make_message(velocity=(50.0, 0.0)), time=0.0)
+        service.prepare(100.0)
+        assert service.tracked_object("a") is record
+        assert record.accuracy == 42.0
+        assert record.last_update_time == 0.0
+
+
+class TestBatchedIngestion:
+    def test_batch_equals_per_message(self):
+        rng = np.random.default_rng(5)
+        n = 60
+        msgs = [
+            (
+                f"o{i}",
+                make_message(
+                    position=tuple(rng.uniform(0, 8000.0, size=2)),
+                    velocity=tuple(rng.uniform(-20, 20.0, size=2)),
+                ),
+            )
+            for i in range(n)
+        ]
+        one_by_one = LocationService(n_shards=4)
+        batched = LocationService(n_shards=4)
+        for service in (one_by_one, batched):
+            for i in range(n):
+                service.register_object(f"o{i}", prediction=LinearPrediction())
+        for oid, m in msgs:
+            one_by_one.receive_update(oid, m, 0.0)
+        batched.ingest_batch(msgs, 0.0)
+        for oid, _ in msgs:
+            assert one_by_one.home_shard(oid) == batched.home_shard(oid)
+            np.testing.assert_array_equal(
+                one_by_one.predict_position(oid, 30.0), batched.predict_position(oid, 30.0)
+            )
+        assert sum(load.updates for load in one_by_one.loads) == n
+        assert sum(load.updates for load in batched.loads) == n
+        assert batched.counters.batches_ingested == 1
+
+    def test_empty_batch_is_noop(self):
+        service = LocationService(n_shards=2)
+        service.ingest_batch([], 0.0)
+        assert service.counters.batches_ingested == 0
+
+
+class TestServiceQueries:
+    """Index-backed service answers == linear reference scans, bit for bit."""
+
+    @pytest.fixture()
+    def mirrored(self):
+        rng = np.random.default_rng(11)
+        n = 300
+        single = LocationServer()
+        service = LocationService(n_shards=5, region_size=1500.0)
+        msgs = []
+        for i in range(n):
+            oid = f"obj-{i:03d}"
+            accuracy = float(rng.choice([25.0, 50.0, 100.0, float("inf")]))
+            for backend in (single, service):
+                backend.register_object(oid, prediction=LinearPrediction(), accuracy=accuracy)
+            msgs.append(
+                (
+                    oid,
+                    make_message(
+                        position=tuple(rng.uniform(0.0, 12_000.0, size=2)),
+                        velocity=tuple(rng.uniform(-25.0, 25.0, size=2)),
+                    ),
+                )
+            )
+        # A silent object exists on both backends but never reports.
+        single.register_object("silent", accuracy=10.0)
+        service.register_object("silent", accuracy=10.0)
+        for oid, m in msgs:
+            single.receive_update(oid, m, 0.0)
+        service.ingest_batch(msgs, 0.0)
+        return single, service
+
+    def test_range_queries_identical(self, mirrored):
+        single, service = mirrored
+        rng = np.random.default_rng(12)
+        for t in (0.0, 17.0, 120.0):
+            for _ in range(10):
+                lo = rng.uniform(0.0, 9000.0, size=2)
+                extent = rng.uniform(200.0, 4000.0, size=2)
+                box = BoundingBox(lo[0], lo[1], lo[0] + extent[0], lo[1] + extent[1])
+                assert service.range_query(box, t) == range_query(single, box, t)
+
+    def test_margin_range_queries_identical(self, mirrored):
+        single, service = mirrored
+        box = BoundingBox(2000.0, 2000.0, 6000.0, 5000.0)
+        for margin in (0.5, 1.0, 2.0):
+            for t in (0.0, 45.0):
+                assert service.range_query(box, t, margin=margin) == range_query(
+                    single, box, t, margin=margin
+                )
+
+    def test_nearest_queries_identical(self, mirrored):
+        single, service = mirrored
+        rng = np.random.default_rng(13)
+        for t in (0.0, 33.0):
+            for k in (1, 5, 40):
+                q = rng.uniform(0.0, 12_000.0, size=2)
+                assert service.nearest_objects(q, t, k=k) == nearest_object_query(
+                    single, q, t, k=k
+                )
+
+    def test_geofence_queries_identical(self, mirrored):
+        single, service = mirrored
+        rng = np.random.default_rng(14)
+        for t in (0.0, 75.0):
+            for radius in (100.0, 1500.0, 6000.0):
+                q = rng.uniform(0.0, 12_000.0, size=2)
+                assert service.geofence_query(q, radius, t) == geofence_query(
+                    single, q, radius, t
+                )
+
+    def test_linear_reference_queries_run_against_service(self, mirrored):
+        """queries.py functions accept the facade as a drop-in server."""
+        _, service = mirrored
+        box = BoundingBox(0.0, 0.0, 4000.0, 4000.0)
+        assert range_query(service, box, 0.0) == service.range_query(box, 0.0)
+        result = position_query(service, "obj-000", 0.0)
+        assert result.position is not None
+
+    def test_service_stats_shape(self, mirrored):
+        _, service = mirrored
+        service.range_query(BoundingBox(0.0, 0.0, 100.0, 100.0), 0.0)
+        stats = service.service_stats()
+        assert stats["shards"] == 5
+        assert stats["objects"] == 301
+        assert stats["updates_ingested"] == 300
+        assert stats["range_queries"] >= 1
+        assert len(stats["per_shard"]) == 5
+        assert sum(row["objects"] for row in stats["per_shard"]) == 301
+        assert stats["query_seconds"] > 0.0
+
+    def test_prepare_is_idempotent_per_time(self, mirrored):
+        _, service = mirrored
+        service.prepare(10.0)
+        syncs = service.counters.syncs
+        service.prepare(10.0)
+        assert service.counters.syncs == syncs
+        service.prepare(11.0)
+        assert service.counters.syncs == syncs + 1
+
+
+class TestSingleShardExactness:
+    def test_shards1_queries_equal_plain_server(self):
+        rng = np.random.default_rng(21)
+        single = LocationServer()
+        service = LocationService(n_shards=1)
+        for i in range(50):
+            oid = f"o{i}"
+            for backend in (single, service):
+                backend.register_object(oid, prediction=LinearPrediction(), accuracy=75.0)
+            m = make_message(
+                position=tuple(rng.uniform(0.0, 5000.0, size=2)),
+                velocity=tuple(rng.uniform(-15.0, 15.0, size=2)),
+            )
+            single.receive_update(oid, m, 0.0)
+            service.receive_update(oid, m, 0.0)
+        box = BoundingBox(1000.0, 1000.0, 4000.0, 3000.0)
+        for t in (0.0, 60.0):
+            assert service.range_query(box, t) == range_query(single, box, t)
+            assert service.nearest_objects((2500.0, 2000.0), t, k=9) == nearest_object_query(
+                single, (2500.0, 2000.0), t, k=9
+            )

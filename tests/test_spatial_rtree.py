@@ -81,7 +81,6 @@ class TestQueries:
     def test_insert_after_build_is_found(self):
         items = random_items(50, seed=4)
         tree = STRtree(items)
-        extra = random_items(1, seed=99)[0]
         far = IndexedItem(
             key="extra",
             bounds=BoundingBox(100000.0, 100000.0, 100010.0, 100010.0),
