@@ -1,0 +1,278 @@
+"""Ingest pipeline benchmark: parse / compact / cache timings + contraction.
+
+The real-map ingestion pipeline (PR: ``src/repro/ingest/``) promises two
+things beyond correctness:
+
+1. **The compiled-map cache pays for itself** — loading a cached map is
+   much cheaper than re-running parse + conditioning.
+2. **Degree-2 contraction makes imported maps fast without changing any
+   result** — routing (and map matching) on the contracted graph beats the
+   raw bead-chain graph by at least
+   :data:`_REQUIRED_ROUTING_SPEEDUP`, while the map-based protocol's
+   metrics are *identical*: exactly the same update decisions (counts,
+   bytes, reasons — integer-exact) and a byte-identical golden-metrics
+   payload (floats rounded to the golden suite's 1e-6 precision; the raw
+   aggregates differ only by float summation order, well below nanometres).
+
+Everything is recorded in ``BENCH_ingest.json`` at the repository root.
+Size knobs for quick local runs: ``REPRO_BENCH_INGEST_ROWS`` /
+``_COLS`` / ``_CHAIN_STEP`` / ``_ROUTES``; ``REPRO_BENCH_INGEST_MIN_SPEEDUP``
+lowers the *asserted* routing-speedup floor for noisy CI runners (the 2x
+target is still recorded).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import tempfile
+import time
+from pathlib import Path
+
+import networkx as nx
+
+from repro.ingest import compile_osm, import_map, synthetic_town_xml, write_fixture_xml
+from repro.mapmatching.matcher import IncrementalMapMatcher, MatcherConfig
+from repro.mobility.kinematics import DriverProfile
+from repro.mobility.vehicle import VehicleSimulator
+from repro.protocols.mapbased import MapBasedConfig, MapBasedProtocol
+from repro.roadmap.routing import RoutePlanner
+from repro.sim.engine import ProtocolSimulation
+from repro.traces.noise import GaussMarkovNoise
+
+from conftest import run_once
+
+_RESULT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_ingest.json")
+
+#: Contraction must make shortest-path routing at least this much faster.
+_REQUIRED_ROUTING_SPEEDUP = 2.0
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+def _min_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_INGEST_MIN_SPEEDUP", _REQUIRED_ROUTING_SPEEDUP))
+
+
+def _golden_row(result) -> dict:
+    """The golden-metrics payload of one run (same fields/rounding as
+    tests/test_golden_metrics.py)."""
+    metrics = result.metrics
+
+    def r6(value):
+        return round(float(value), 6)
+
+    return {
+        "updates": int(result.updates),
+        "updates_per_hour": r6(result.updates_per_hour),
+        "bytes_sent": int(result.bytes_sent),
+        "samples": int(metrics.count),
+        "mean_error_m": r6(metrics.mean_error),
+        "rms_error_m": r6(metrics.rms_error),
+        "p95_error_m": r6(metrics.percentile(95.0)),
+        "max_error_m": r6(metrics.max_error),
+        "update_reasons": {k: int(v) for k, v in sorted(result.update_reasons.items())},
+    }
+
+
+def _time_routing(roadmap, pairs) -> float:
+    planner = RoutePlanner(roadmap, weight="length")
+    t0 = time.perf_counter()
+    for a, b in pairs:
+        try:
+            planner.shortest_route(a, b)
+        except nx.NetworkXNoPath:
+            pass  # same pairs on both graphs, so both skip it
+    return time.perf_counter() - t0
+
+
+def _time_matching(roadmap, positions, headings) -> float:
+    matcher = IncrementalMapMatcher(
+        roadmap, MatcherConfig(tolerance=30.0, advance_at_link_end=True)
+    )
+    t0 = time.perf_counter()
+    for position, heading in zip(positions, headings):
+        matcher.update(position, heading=heading)
+    return time.perf_counter() - t0
+
+
+def run_ingest_bench(
+    rows: int = 10,
+    cols: int = 10,
+    chain_step_m: float = 40.0,
+    n_routes: int = 60,
+    seed: int = 7,
+):
+    """Run the full benchmark and return the record."""
+    params = dict(rows=rows, cols=cols, spacing_m=200.0, chain_step_m=chain_step_m)
+    xml = synthetic_town_xml(seed=seed, **params)
+
+    # ------------------------------------------------------------------ #
+    # pipeline + cache timings
+    # ------------------------------------------------------------------ #
+    compact = compile_osm(xml, source_name="bench-town")
+    raw = compile_osm(xml, contract=False, source_name="bench-town")
+    with tempfile.TemporaryDirectory() as tmp:
+        extract = Path(tmp) / "bench_town.osm"
+        write_fixture_xml(extract, seed=seed, **params)
+        cold = import_map(extract, cache_dir=Path(tmp) / "cache")
+        warm = import_map(extract, cache_dir=Path(tmp) / "cache")
+    assert not cold.cached and warm.cached
+    cache_speedup = (
+        (cold.timings["parse_seconds"] + cold.timings["compile_seconds"])
+        / warm.timings["cache_load_seconds"]
+        if warm.timings["cache_load_seconds"] > 0
+        else None
+    )
+
+    # ------------------------------------------------------------------ #
+    # routing: contracted vs raw graph
+    # ------------------------------------------------------------------ #
+    junctions = sorted(compact.roadmap.intersections)
+    rng = random.Random(seed)
+    pairs = [tuple(rng.sample(junctions, 2)) for _ in range(n_routes)]
+    raw_routing = _time_routing(raw.roadmap, pairs)
+    compact_routing = _time_routing(compact.roadmap, pairs)
+    routing_speedup = raw_routing / compact_routing if compact_routing > 0 else None
+
+    # ------------------------------------------------------------------ #
+    # a drive across the imported town (same trace for all comparisons)
+    # ------------------------------------------------------------------ #
+    route_rng = random.Random(seed + 1)
+    route = RoutePlanner(compact.roadmap).random_route(
+        min_length=18_000.0, rng=route_rng, straight_bias=0.7
+    )
+    journey = VehicleSimulator(route, DriverProfile(), rng=route_rng).run(name="bench")
+    noise = GaussMarkovNoise(sigma=2.5, correlation_time=60.0, seed=seed + 2)
+    sensor = noise.apply(journey.trace)
+    velocities = (sensor.positions[1:] - sensor.positions[:-1])
+    headings = [None] + [v for v in velocities]
+
+    raw_matching = _time_matching(raw.roadmap, sensor.positions, headings)
+    compact_matching = _time_matching(compact.roadmap, sensor.positions, headings)
+    matching_speedup = raw_matching / compact_matching if compact_matching > 0 else None
+
+    # ------------------------------------------------------------------ #
+    # protocol metrics: identical on raw and contracted graphs
+    # ------------------------------------------------------------------ #
+    def protocol_payload(roadmap):
+        protocol = MapBasedProtocol(
+            accuracy=100.0,
+            roadmap=roadmap,
+            sensor_uncertainty=noise.typical_error,
+            estimation_window=4,
+            config=MapBasedConfig(advance_at_link_end=True),
+        )
+        result = ProtocolSimulation(
+            protocol=protocol, sensor_trace=sensor, truth_trace=journey.trace
+        ).run()
+        return _golden_row(result)
+
+    on_compact = protocol_payload(compact.roadmap)
+    on_raw = protocol_payload(raw.roadmap)
+    decisions_identical = (
+        on_compact["updates"] == on_raw["updates"]
+        and on_compact["bytes_sent"] == on_raw["bytes_sent"]
+        and on_compact["update_reasons"] == on_raw["update_reasons"]
+    )
+    payloads_identical = json.dumps(on_compact, sort_keys=True) == json.dumps(
+        on_raw, sort_keys=True
+    )
+
+    return {
+        "benchmark": "ingest_pipeline",
+        "town": {"rows": rows, "cols": cols, "chain_step_m": chain_step_m, "seed": seed},
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "parse": compact.parse_stats,
+        "conditioning": compact.report.as_dict(),
+        "raw_graph": {
+            "intersections": raw.roadmap.num_intersections(),
+            "links": raw.roadmap.num_links(),
+        },
+        "timings": {
+            "parse_seconds": round(compact.timings["parse_seconds"], 4),
+            "compact_seconds": round(compact.timings["compile_seconds"], 4),
+            "raw_compile_seconds": round(raw.timings["compile_seconds"], 4),
+            "cache_write_seconds": round(cold.timings["cache_write_seconds"], 4),
+            "cache_load_seconds": round(warm.timings["cache_load_seconds"], 4),
+        },
+        "cache_speedup": round(cache_speedup, 2) if cache_speedup else None,
+        "routing": {
+            "routes": n_routes,
+            "raw_seconds": round(raw_routing, 4),
+            "contracted_seconds": round(compact_routing, 4),
+            "speedup": round(routing_speedup, 3) if routing_speedup else None,
+            "required_speedup": _REQUIRED_ROUTING_SPEEDUP,
+        },
+        "matching": {
+            "sightings": len(sensor),
+            "raw_seconds": round(raw_matching, 4),
+            "contracted_seconds": round(compact_matching, 4),
+            "speedup": round(matching_speedup, 3) if matching_speedup else None,
+        },
+        "protocol": {
+            "trace_km": round(journey.trace.path_length() / 1000.0, 2),
+            "on_contracted": on_compact,
+            "on_raw": on_raw,
+            "decisions_identical": decisions_identical,
+            "metrics_identical": payloads_identical,
+        },
+    }
+
+
+def _print_record(record):
+    slim = {k: v for k, v in record.items() if k not in ("machine", "parse")}
+    print(json.dumps(slim, indent=2))
+
+
+def _write_record(record):
+    with open(_RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(_RESULT_PATH)}")
+
+
+def _assert_record(record):
+    assert record["protocol"]["decisions_identical"], (
+        "contraction changed the protocol's update decisions: "
+        f"{record['protocol']['on_contracted']} vs {record['protocol']['on_raw']}"
+    )
+    assert record["protocol"]["metrics_identical"], (
+        "contraction shifted the protocol metrics beyond the golden 1e-6 precision"
+    )
+    floor = _min_speedup()
+    assert record["routing"]["speedup"] >= floor, (
+        f"routing speedup {record['routing']['speedup']}x is below the {floor}x floor"
+    )
+
+
+def _bench_kwargs():
+    return dict(
+        rows=_env_int("REPRO_BENCH_INGEST_ROWS", 10),
+        cols=_env_int("REPRO_BENCH_INGEST_COLS", 10),
+        chain_step_m=float(os.environ.get("REPRO_BENCH_INGEST_CHAIN_STEP", "40")),
+        n_routes=_env_int("REPRO_BENCH_INGEST_ROUTES", 60),
+    )
+
+
+def test_ingest_pipeline(benchmark):
+    record = run_once(benchmark, run_ingest_bench, **_bench_kwargs())
+    print()
+    _print_record(record)
+    _write_record(record)
+    _assert_record(record)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual / CI smoke entry point
+    record = run_ingest_bench(**_bench_kwargs())
+    _print_record(record)
+    _write_record(record)
+    _assert_record(record)

@@ -15,10 +15,17 @@ writing any Python::
     repro generate-map city --out city.json
     repro generate-trace --scenario walking --out walk.csv --noisy
     repro visualize --scenario freeway --accuracy 200 --scale 0.1
+    repro import-map extract.osm --cache-dir .mapcache
+    repro sweep --map-file extract.osm --protocol map --scale 0.2
+    repro fleet --map-file extract.osm --mix osm_extract:map:100:20 --scale 0.1
 
 ``--scenario`` accepts every name in the scenario library — the paper's
 four canonical patterns plus the generated compositions (see ``repro
-scenarios`` for the full table).
+scenarios`` for the full table).  ``import-map`` runs an OpenStreetMap
+extract through the ingest pipeline (parse, project, condition, compile)
+into the compiled-map cache; ``sweep``/``fleet`` accept ``--map-file`` to
+run protocols directly on such an imported network (the scenario is
+registered as ``osm_<filename>``).
 
 Every command prints plain-text tables (or JSON with ``--json``) so the
 output can be diffed against the paper's numbers or piped into other tools.
@@ -84,6 +91,18 @@ def _positive_int(value: str) -> int:
     return n
 
 
+def _bbox(value: str) -> List[float]:
+    parts = [p for p in value.split(",") if p.strip()]
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            f"expected min_lat,min_lon,max_lat,max_lon, got {value!r}"
+        )
+    try:
+        return [float(p) for p in parts]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bbox values must be numbers, got {value!r}")
+
+
 def _accuracy_list(value: str) -> List[float]:
     try:
         out = [float(v) for v in value.split(",") if v.strip()]
@@ -135,10 +154,25 @@ def build_parser() -> argparse.ArgumentParser:
     add_scale(p_headline)
     add_jobs(p_headline)
 
+    def add_map_file(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--map-file", type=str, default=None, metavar="EXTRACT",
+            help="run on an imported OSM extract instead of a library scenario "
+                 "(registered as scenario osm_<filename>; registration is "
+                 "per-process, so combine with --jobs only where worker "
+                 "processes fork — see repro.experiments.library)",
+        )
+        p.add_argument(
+            "--map-cache-dir", type=str, default=None,
+            help="compiled-map cache directory for --map-file "
+                 "(default: $REPRO_MAP_CACHE or ~/.cache/repro/maps)",
+        )
+
     p_sweep = subparsers.add_parser(
         "sweep", help="run one protocol's accuracy sweep and write JSON/CSV artifacts"
     )
-    p_sweep.add_argument("--scenario", choices=scenario_names(), required=True)
+    p_sweep.add_argument("--scenario", choices=scenario_names(), default=None)
+    add_map_file(p_sweep)
     p_sweep.add_argument("--protocol", choices=list(PROTOCOL_IDS), required=True)
     p_sweep.add_argument("--seed", type=int, default=None, help="scenario seed override")
     p_sweep.add_argument(
@@ -189,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=_positive_int, default=1,
         help="serve the fleet from a spatially sharded LocationService (default 1)",
     )
+    add_map_file(p_fleet)
     add_scale(p_fleet)
 
     p_qbench = subparsers.add_parser(
@@ -215,6 +250,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the JSON artifact (default: print only)",
     )
     add_scale(p_qbench)
+
+    p_import = subparsers.add_parser(
+        "import-map",
+        help="import an OSM extract (XML / Overpass JSON) into the compiled-map cache",
+    )
+    p_import.add_argument("extract", help="path to the OSM extract")
+    p_import.add_argument(
+        "--bbox", type=_bbox, default=None, metavar="MINLAT,MINLON,MAXLAT,MAXLON",
+        help="clip the import to a geodesic bounding box",
+    )
+    p_import.add_argument(
+        "--no-compact", action="store_true",
+        help="skip degree-2 chain contraction (debugging/benchmarks only)",
+    )
+    p_import.add_argument(
+        "--min-stub-m", type=float, default=40.0,
+        help="prune dead-end chains shorter than this many metres (default 40)",
+    )
+    p_import.add_argument(
+        "--refresh", action="store_true", help="re-import even when the cache has the map"
+    )
+    p_import.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="compiled-map cache directory (default: $REPRO_MAP_CACHE or ~/.cache/repro/maps)",
+    )
+    p_import.add_argument(
+        "--out", type=str, default=None,
+        help="additionally save the compiled road map JSON to this path",
+    )
 
     p_map = subparsers.add_parser("generate-map", help="generate a synthetic road map (JSON)")
     p_map.add_argument("kind", choices=sorted(_MAP_GENERATORS))
@@ -284,7 +348,38 @@ def _cmd_headline(args) -> int:
     return 0
 
 
+def _resolve_map_scenario(args) -> Optional[str]:
+    """The scenario name to run: ``--scenario``, or a registered ``--map-file``.
+
+    Returns ``None`` (after printing the error) when the combination is
+    invalid; the registered name is written back to ``args.scenario`` so the
+    downstream command code is oblivious to where the scenario came from.
+    """
+    if args.map_file and args.scenario:
+        print("error: pass either --scenario or --map-file, not both", file=sys.stderr)
+        return None
+    if args.map_file:
+        from repro.experiments.library import register_map_file_scenario
+
+        try:
+            name = register_map_file_scenario(
+                args.map_file, cache_dir=args.map_cache_dir
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+        print(f"registered imported map as scenario {name!r}", file=sys.stderr)
+        args.scenario = name
+        return name
+    if not args.scenario:
+        print("error: one of --scenario or --map-file is required", file=sys.stderr)
+        return None
+    return args.scenario
+
+
 def _cmd_sweep(args) -> int:
+    if _resolve_map_scenario(args) is None:
+        return 2
     spec = ScenarioSpec(name=args.scenario, scale=args.scale, seed=args.seed)
     with SweepRunner(jobs=args.jobs) as runner:
         return _run_sweep_command(args, runner, spec)
@@ -346,6 +441,17 @@ def _cmd_scenarios(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
+    if args.map_file:
+        # Register the imported map before the mixes are validated, so a
+        # mix entry can reference it (scenario name osm_<filename>).
+        from repro.experiments.library import register_map_file_scenario
+
+        try:
+            name = register_map_file_scenario(args.map_file, cache_dir=args.map_cache_dir)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"registered imported map as scenario {name!r}", file=sys.stderr)
     try:
         mix = [FleetMix.parse(text) for text in args.mix]
     except ValueError as exc:
@@ -446,6 +552,42 @@ def _cmd_query_bench(args) -> int:
     return 0
 
 
+def _cmd_import_map(args) -> int:
+    from repro.ingest import import_map
+
+    try:
+        compiled = import_map(
+            args.extract,
+            bbox=tuple(args.bbox) if args.bbox else None,
+            contract=not args.no_compact,
+            min_stub_m=args.min_stub_m,
+            cache_dir=args.cache_dir,
+            refresh=args.refresh,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = compiled.report
+    row = {
+        "source": compiled.roadmap.metadata.get("source", args.extract),
+        "cached": compiled.cached,
+        "intersections": report.output_intersections,
+        "links": report.output_links,
+        "total_length_km": round(report.total_length_km, 2),
+        "nodes_contracted": report.nodes_contracted,
+        "stub_segments_pruned": report.stub_segments_pruned,
+        "components_dropped": report.components_dropped,
+        **{k: round(v, 4) for k, v in compiled.timings.items()},
+    }
+    _emit(args, [row], f"Imported map {args.extract}")
+    if compiled.cache_path:
+        print(f"compiled map cache: {compiled.cache_path}", file=sys.stderr)
+    if args.out:
+        roadmap_io.save_roadmap(compiled.roadmap, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_generate_map(args) -> int:
     roadmap = _MAP_GENERATORS[args.kind](seed=args.seed)
     roadmap_io.save_roadmap(roadmap, args.out)
@@ -501,6 +643,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "fleet": _cmd_fleet,
     "query-bench": _cmd_query_bench,
+    "import-map": _cmd_import_map,
     "generate-map": _cmd_generate_map,
     "generate-trace": _cmd_generate_trace,
     "visualize": _cmd_visualize,

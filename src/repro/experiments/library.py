@@ -37,10 +37,12 @@ from repro.mobility.generator import (
     AgentSpec,
     Degradation,
     GeneratorSpec,
+    RealMapTopology,
     Topology,
     generate_scenario,
 )
 from repro.mobility.scenarios import (
+    CAR_US_SWEEP,
     WALK_US_SWEEP,
     Scenario,
     ScenarioName,
@@ -99,6 +101,17 @@ def register_scenario(entry: ScenarioEntry) -> ScenarioEntry:
         raise ValueError(f"scenario {entry.name!r} is already registered")
     _REGISTRY[entry.name] = entry
     return entry
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a runtime-registered scenario (tests, ad-hoc map imports).
+
+    Raises ``KeyError`` for unknown names.  Removing one of the built-in
+    entries is possible but pointless; reimporting the module does not
+    bring it back within the same process.
+    """
+    del _REGISTRY[name]
+    GENERATED_SPECS.pop(name, None)
 
 
 def get_entry(name: Union[str, ScenarioName]) -> ScenarioEntry:
@@ -304,6 +317,88 @@ register_generated(GeneratorSpec(
     us_values=tuple(WALK_US_SWEEP),
     matching_tolerance=20.0,
 ))
+register_generated(GeneratorSpec(
+    name="osm_town_drive",
+    description="car wandering a town imported through the OSM ingest pipeline",
+    topology=RealMapTopology(fixture="town"),
+    regime=SIGNALIZED,
+    agent=AgentSpec(kind="car", route_style="wander", straight_bias=0.7),
+    route_length_m=15_000.0,
+    default_seed=109,
+))
+register_generated(GeneratorSpec(
+    name="osm_town_walk",
+    description="pedestrian strolling the imported town's streets and park paths",
+    topology=RealMapTopology(fixture="town"),
+    regime=STROLL,
+    agent=AgentSpec(kind="pedestrian", estimation_window=8),
+    route_length_m=5_000.0,
+    default_seed=111,
+    us_values=tuple(WALK_US_SWEEP),
+    matching_tolerance=20.0,
+))
+
+
+# --------------------------------------------------------------------------- #
+# imported map files
+# --------------------------------------------------------------------------- #
+def register_map_file_scenario(
+    map_file: str,
+    agent_kind: str = "car",
+    name: Optional[str] = None,
+    bbox: Optional[Sequence[float]] = None,
+    cache_dir: Optional[str] = None,
+    route_length_m: Optional[float] = None,
+) -> str:
+    """Register a scenario that runs on an imported OSM extract; return its name.
+
+    This is what ``repro sweep --map-file`` / ``repro fleet --map-file``
+    call: the extract goes through the compiled-map cache, and the returned
+    name resolves like any library scenario (sweeps, fleets, golden runs on
+    user maps).  Registration is idempotent for the same file; a name
+    collision with a *different* source raises, so a map file cannot
+    shadow a built-in scenario.
+    """
+    from pathlib import Path
+
+    path = Path(map_file)
+    if name is None:
+        slug = "".join(ch if ch.isalnum() else "_" for ch in path.stem)
+        name = f"osm_{slug}" if not slug.startswith("osm_") else slug
+    walking = agent_kind == "pedestrian"
+    spec = GeneratorSpec(
+        name=name,
+        description=f"{agent_kind} on imported map {path.name}",
+        topology=RealMapTopology(
+            map_file=str(path),
+            bbox=tuple(float(v) for v in bbox) if bbox is not None else None,
+            cache_dir=cache_dir,
+        ),
+        regime=STROLL if walking else SIGNALIZED,
+        agent=(
+            AgentSpec(kind="pedestrian", estimation_window=8)
+            if walking
+            else AgentSpec(kind="car", route_style="wander", straight_bias=0.7)
+        ),
+        route_length_m=float(route_length_m or (5_000.0 if walking else 15_000.0)),
+        default_seed=0,
+        us_values=tuple(WALK_US_SWEEP) if walking else tuple(CAR_US_SWEEP),
+        matching_tolerance=20.0 if walking else 30.0,
+    )
+    if name in _REGISTRY:
+        # Idempotent only for the *identical* recipe: silently returning an
+        # entry registered with a different bbox, agent or map file would
+        # run a sweep the caller did not ask for.
+        if GENERATED_SPECS.get(name) == spec:
+            return name
+        existing = _REGISTRY[name]
+        raise ValueError(
+            f"scenario name {name!r} is already taken with different options "
+            f"(source {existing.knobs.get('source', 'builtin')!r}); pass an "
+            f"explicit name for {path.name}"
+        )
+    register_generated(spec)
+    return name
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,179 @@
+"""The compiled-map cache: import OSM extracts once, reuse everywhere.
+
+Parsing and conditioning a city-scale extract takes orders of magnitude
+longer than loading the finished road map, and sweeps rebuild their
+scenario in every worker process.  :func:`import_map` therefore memoises
+the *compiled* map on disk, keyed by the extract's content hash and every
+pipeline option (plus the pipeline and file-format versions, so a code
+change can never serve a stale map):
+
+* cache hit — one :func:`repro.roadmap.io.load_roadmap` call,
+* cache miss — full pipeline (parse → project → condition → build), then
+  an atomic write of the compiled map for the next run.
+
+The cache lives under ``$REPRO_MAP_CACHE`` (default
+``~/.cache/repro/maps``); every entry is a plain version-2 road-map JSON
+document whose metadata block carries the source name, geodesic origin and
+the full ingest report, so a cached map is self-describing and can be
+shipped around like any other saved road map.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.ingest.compact import CompiledMap, ConditioningReport, compile_roadmap
+from repro.ingest.osm import load_osm, project_network
+from repro.roadmap import io as roadmap_io
+
+#: Bumped whenever the pipeline's output could change for the same input;
+#: part of every cache key, so old entries are simply never hit again.
+PIPELINE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The compiled-map cache directory (env: ``REPRO_MAP_CACHE``)."""
+    env = os.environ.get("REPRO_MAP_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "maps"
+
+
+def cache_key(
+    content_digest: str,
+    bbox: Optional[Tuple[float, float, float, float]],
+    contract: bool,
+    min_stub_m: float,
+    origin: Optional[Tuple[float, float]],
+    index_cell_size: float,
+) -> str:
+    """Deterministic key over the extract content and all pipeline options."""
+    payload = json.dumps(
+        {
+            "content": content_digest,
+            "bbox": list(bbox) if bbox is not None else None,
+            "contract": bool(contract),
+            "min_stub_m": float(min_stub_m),
+            "origin": list(origin) if origin is not None else None,
+            "index_cell_size": float(index_cell_size),
+            "pipeline_version": PIPELINE_VERSION,
+            "format_version": roadmap_io.FORMAT_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def compile_osm(
+    source: Union[str, Path],
+    bbox: Optional[Tuple[float, float, float, float]] = None,
+    contract: bool = True,
+    min_stub_m: float = 40.0,
+    origin: Optional[Tuple[float, float]] = None,
+    index_cell_size: float = 250.0,
+    source_name: str = "",
+) -> CompiledMap:
+    """Run the full pipeline uncached (parse → project → condition → build).
+
+    ``source`` is anything :func:`repro.ingest.osm.load_osm` accepts: a
+    path, an open file, or the extract text itself.
+    """
+    t0 = time.perf_counter()
+    network = load_osm(source)
+    t1 = time.perf_counter()
+    projected = project_network(network, origin=origin)
+    if not source_name and isinstance(source, (str, Path)):
+        text = str(source).lstrip()
+        # A str source may be the document itself, not a path; never embed
+        # a whole extract into the map metadata.
+        if not text.startswith(("<", "{")):
+            source_name = str(source)
+    compiled = compile_roadmap(
+        projected,
+        bbox=bbox,
+        contract=contract,
+        min_stub_m=min_stub_m,
+        index_cell_size=index_cell_size,
+        source=source_name,
+    )
+    t2 = time.perf_counter()
+    compiled.timings = {"parse_seconds": t1 - t0, "compile_seconds": t2 - t1}
+    return compiled
+
+
+def _from_cache_file(path: Path, index_cell_size: float) -> Optional[CompiledMap]:
+    """Load a cache entry; ``None`` when it is unreadable (then re-import)."""
+    try:
+        t0 = time.perf_counter()
+        roadmap = roadmap_io.load_roadmap(path, index_cell_size=index_cell_size)
+        seconds = time.perf_counter() - t0
+        metadata = roadmap.metadata
+        ingest = metadata.get("ingest", {})
+        origin = metadata.get("origin", {})
+        report = ConditioningReport(**ingest.get("conditioning", {}))
+        origin_pair = (float(origin.get("lat", 0.0)), float(origin.get("lon", 0.0)))
+    except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+        # Hand-edited, truncated or schema-stale entries are rebuilt, as
+        # import_map promises.
+        return None
+    return CompiledMap(
+        roadmap=roadmap,
+        report=report,
+        origin=origin_pair,
+        parse_stats=dict(ingest.get("parse", {})),
+        cached=True,
+        timings={"cache_load_seconds": seconds},
+    )
+
+
+def import_map(
+    path: Union[str, Path],
+    bbox: Optional[Tuple[float, float, float, float]] = None,
+    contract: bool = True,
+    min_stub_m: float = 40.0,
+    origin: Optional[Tuple[float, float]] = None,
+    index_cell_size: float = 250.0,
+    cache_dir: Optional[Union[str, Path]] = None,
+    refresh: bool = False,
+) -> CompiledMap:
+    """Import an OSM extract, through the compiled-map cache.
+
+    Parameters mirror :func:`compile_osm`; ``refresh=True`` forces a
+    re-import (the entry is rewritten), and a corrupt or version-stale
+    cache file is silently rebuilt rather than failing the run.
+    """
+    path = Path(path)
+    content_digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    key = cache_key(content_digest, bbox, contract, min_stub_m, origin, index_cell_size)
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    entry = directory / f"{path.stem}-{key[:16]}.json"
+    if not refresh and entry.exists():
+        compiled = _from_cache_file(entry, index_cell_size)
+        if compiled is not None:
+            compiled.cache_path = str(entry)
+            return compiled
+    compiled = compile_osm(
+        path,
+        bbox=bbox,
+        contract=contract,
+        min_stub_m=min_stub_m,
+        origin=origin,
+        index_cell_size=index_cell_size,
+        source_name=path.name,
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    t0 = time.perf_counter()
+    # Per-process temp name: concurrent importers (parallel sweep workers
+    # cold-importing the same extract) each rename their own complete file
+    # over the entry, last writer wins, nobody observes a partial write.
+    temporary = entry.with_suffix(f".tmp{os.getpid()}")
+    roadmap_io.save_roadmap(compiled.roadmap, temporary)
+    temporary.replace(entry)
+    compiled.timings["cache_write_seconds"] = time.perf_counter() - t0
+    compiled.cache_path = str(entry)
+    return compiled

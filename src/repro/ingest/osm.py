@@ -1,0 +1,426 @@
+"""Streaming OpenStreetMap extract parsing and tag normalisation.
+
+The first stage of the real-map ingestion pipeline: turn an OSM extract
+(`.osm` XML as produced by the OSM editing API, Overpass ``[out:xml]`` or
+JOSM, or Overpass ``[out:json]``) into an :class:`OSMNetwork` — the raw
+highway ways and the nodes they reference, with the OSM tag soup normalised
+into the attributes the simulation understands:
+
+* ``highway=*`` values map onto the repo's coarse
+  :class:`~repro.roadmap.elements.RoadClass` taxonomy (see
+  :data:`HIGHWAY_CLASSES`; unknown values drop the way),
+* ``maxspeed=*`` is parsed into metres per second with unit handling
+  (``50``, ``50 km/h``, ``30 mph``, ``walk``, ``none``; unparseable values
+  fall back to the class default),
+* ``oneway=*`` (plus the implicit motorway / roundabout conventions) is
+  normalised to forward / both / reverse.
+
+The XML parser is *streaming* (``xml.etree.ElementTree.iterparse`` with
+element eviction), so city-scale extracts are ingested in one pass without
+materialising the document tree.
+
+The second stage, :func:`project_network`, maps the WGS-84 node coordinates
+into the local planar metre frame the whole engine works in, reusing
+:class:`repro.geo.geodesy.LocalProjection` anchored at the extract's centre
+(or a caller-supplied origin, so adjacent extracts can share one frame).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, IO, Iterable, List, Mapping, Optional, Tuple, Union
+from xml.etree import ElementTree
+
+import numpy as np
+
+from repro.geo.geodesy import LocalProjection
+from repro.roadmap.elements import RoadClass
+
+#: ``highway=*`` values accepted by the importer, mapped onto the coarse
+#: road-class taxonomy.  Anything not listed here (``proposed``, ``razed``,
+#: ``bus_stop``, …) is skipped and counted in the parse statistics.  The
+#: table doubles as the README's tag-normalisation reference.
+HIGHWAY_CLASSES: Dict[str, RoadClass] = {
+    "motorway": RoadClass.MOTORWAY,
+    "motorway_link": RoadClass.MOTORWAY,
+    "trunk": RoadClass.MOTORWAY,
+    "trunk_link": RoadClass.MOTORWAY,
+    "primary": RoadClass.PRIMARY,
+    "primary_link": RoadClass.PRIMARY,
+    "secondary": RoadClass.SECONDARY,
+    "secondary_link": RoadClass.SECONDARY,
+    "tertiary": RoadClass.SECONDARY,
+    "tertiary_link": RoadClass.SECONDARY,
+    "unclassified": RoadClass.RESIDENTIAL,
+    "residential": RoadClass.RESIDENTIAL,
+    "living_street": RoadClass.RESIDENTIAL,
+    "service": RoadClass.RESIDENTIAL,
+    "track": RoadClass.RESIDENTIAL,
+    "footway": RoadClass.FOOTPATH,
+    "pedestrian": RoadClass.FOOTPATH,
+    "path": RoadClass.FOOTPATH,
+    "steps": RoadClass.FOOTPATH,
+    "cycleway": RoadClass.FOOTPATH,
+}
+
+#: ``maxspeed`` values without a number (the parser maps them explicitly
+#: rather than guessing): ``none`` (German autobahn, no limit — fall back to
+#: the class default) and ``walk`` (walking pace).
+_MAXSPEED_WORDS: Dict[str, Optional[float]] = {
+    "none": None,
+    "signals": None,
+    "variable": None,
+    "walk": 7.0 / 3.6,
+}
+
+_MPH_TO_MS = 1.609344 / 3.6
+_KMH_TO_MS = 1.0 / 3.6
+
+#: Normalised travel directions of a way.
+ONEWAY_FORWARD = "forward"
+ONEWAY_BOTH = "both"
+ONEWAY_REVERSE = "reverse"
+
+
+def parse_maxspeed(value: Optional[str]) -> Optional[float]:
+    """Parse an OSM ``maxspeed`` tag into metres per second.
+
+    Returns ``None`` when the tag is absent or carries no usable number
+    (``none``, ``signals``, country presets, garbage); the caller then falls
+    back to the road-class default, the same convention commercial
+    navigation maps use.
+    """
+    if value is None:
+        return None
+    text = value.strip().lower()
+    if not text:
+        return None
+    if text in _MAXSPEED_WORDS:
+        return _MAXSPEED_WORDS[text]
+    # Multi-valued tags ("50; 30", lane lists) use the first component.
+    text = text.split(";")[0].strip()
+    factor = _KMH_TO_MS
+    for suffix, unit_factor in (("mph", _MPH_TO_MS), ("km/h", _KMH_TO_MS), ("kmh", _KMH_TO_MS)):
+        if text.endswith(suffix):
+            text = text[: -len(suffix)].strip()
+            factor = unit_factor
+            break
+    try:
+        speed = float(text)
+    except ValueError:
+        return None
+    if speed <= 0:
+        return None
+    return speed * factor
+
+
+def parse_oneway(tags: Mapping[str, str], road_class: RoadClass) -> str:
+    """Normalise the ``oneway`` convention of a way.
+
+    Returns one of :data:`ONEWAY_FORWARD`, :data:`ONEWAY_BOTH`,
+    :data:`ONEWAY_REVERSE`.  Motorways and roundabouts are one-way by OSM
+    convention even without an explicit tag.
+    """
+    value = tags.get("oneway", "").strip().lower()
+    if value in ("yes", "true", "1"):
+        return ONEWAY_FORWARD
+    if value in ("-1", "reverse"):
+        return ONEWAY_REVERSE
+    if value in ("no", "false", "0"):
+        return ONEWAY_BOTH
+    # Implicit conventions when the tag is absent or unrecognised.
+    if tags.get("junction", "").strip().lower() in ("roundabout", "circular"):
+        return ONEWAY_FORWARD
+    highway = tags.get("highway", "").strip().lower()
+    if highway in ("motorway", "motorway_link"):
+        return ONEWAY_FORWARD
+    return ONEWAY_BOTH
+
+
+@dataclass(frozen=True)
+class OSMNode:
+    """One OSM node: identifier plus WGS-84 position."""
+
+    id: int
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True)
+class OSMWay:
+    """One highway way with normalised attributes.
+
+    ``nodes`` are the referenced node ids in way order; ``oneway`` is one of
+    the normalised directions (reverse-oriented ways are flipped to forward
+    by :func:`normalize_way`, so downstream stages only ever see ``forward``
+    or ``both``).
+    """
+
+    id: int
+    nodes: Tuple[int, ...]
+    road_class: RoadClass
+    speed_limit: Optional[float]
+    oneway: str
+    name: str = ""
+
+
+@dataclass
+class ParseStats:
+    """Counters describing what the parser saw and kept."""
+
+    nodes: int = 0
+    ways: int = 0
+    highway_ways: int = 0
+    kept_ways: int = 0
+    skipped_unknown_class: int = 0
+    skipped_degenerate: int = 0
+    missing_node_refs: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "nodes": self.nodes,
+            "ways": self.ways,
+            "highway_ways": self.highway_ways,
+            "kept_ways": self.kept_ways,
+            "skipped_unknown_class": self.skipped_unknown_class,
+            "skipped_degenerate": self.skipped_degenerate,
+            "missing_node_refs": self.missing_node_refs,
+        }
+
+
+@dataclass
+class OSMNetwork:
+    """The raw road network of one extract: highway ways plus their nodes.
+
+    ``nodes`` holds only nodes actually referenced by a kept way — the
+    parser drops the (typically vast) remainder of the extract.
+    """
+
+    nodes: Dict[int, OSMNode] = field(default_factory=dict)
+    ways: List[OSMWay] = field(default_factory=list)
+    stats: ParseStats = field(default_factory=ParseStats)
+
+    def bounds_geodetic(self) -> Tuple[float, float, float, float]:
+        """``(min_lat, min_lon, max_lat, max_lon)`` over the kept nodes."""
+        if not self.nodes:
+            raise ValueError("the extract contains no usable highway network")
+        lats = [n.lat for n in self.nodes.values()]
+        lons = [n.lon for n in self.nodes.values()]
+        return (min(lats), min(lons), max(lats), max(lons))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OSMNetwork({len(self.nodes)} nodes, {len(self.ways)} ways)"
+
+
+def normalize_way(
+    way_id: int, refs: Iterable[int], tags: Mapping[str, str]
+) -> Optional[OSMWay]:
+    """Normalise one raw way; ``None`` when it is not a usable road.
+
+    Reverse one-way ways come out flipped to forward orientation so the
+    conditioning stage never has to reason about ``-1``.
+    """
+    highway = tags.get("highway", "").strip().lower()
+    if not highway:
+        return None
+    road_class = HIGHWAY_CLASSES.get(highway)
+    if road_class is None:
+        return None
+    refs = list(refs)
+    oneway = parse_oneway(tags, road_class)
+    if oneway == ONEWAY_REVERSE:
+        refs.reverse()
+        oneway = ONEWAY_FORWARD
+    return OSMWay(
+        id=way_id,
+        nodes=tuple(refs),
+        road_class=road_class,
+        speed_limit=parse_maxspeed(tags.get("maxspeed")),
+        oneway=oneway,
+        name=tags.get("name", ""),
+    )
+
+
+def _finish_network(
+    nodes: Dict[int, OSMNode], raw_ways: List[OSMWay], stats: ParseStats
+) -> OSMNetwork:
+    """Resolve node references, drop degenerates, forget unused nodes."""
+    network = OSMNetwork(stats=stats)
+    for way in raw_ways:
+        refs: List[int] = []
+        for ref in way.nodes:
+            if ref not in nodes:
+                stats.missing_node_refs += 1
+                continue
+            # Collapse immediately repeated refs (OSM data quirk) that would
+            # become zero-length segments.
+            if refs and refs[-1] == ref:
+                continue
+            refs.append(ref)
+        if len(refs) < 2:
+            stats.skipped_degenerate += 1
+            continue
+        stats.kept_ways += 1
+        network.ways.append(
+            OSMWay(
+                id=way.id,
+                nodes=tuple(refs),
+                road_class=way.road_class,
+                speed_limit=way.speed_limit,
+                oneway=way.oneway,
+                name=way.name,
+            )
+        )
+        for ref in refs:
+            if ref not in network.nodes:
+                network.nodes[ref] = nodes[ref]
+    return network
+
+
+def parse_osm_xml(source: Union[str, Path, IO[bytes], IO[str]]) -> OSMNetwork:
+    """Parse an OSM XML extract in one streaming pass.
+
+    ``source`` may be a filesystem path, an open file object, or the
+    document text itself (detected by a leading ``<``).
+    """
+    if isinstance(source, str) and source.lstrip().startswith("<"):
+        source = io.StringIO(source)
+    stats = ParseStats()
+    nodes: Dict[int, OSMNode] = {}
+    raw_ways: List[OSMWay] = []
+    # Way children accumulate between start and end events; nodes are
+    # evicted from the element tree as soon as their end event fires, so
+    # memory stays proportional to the kept network, not the extract.
+    for _, element in ElementTree.iterparse(source, events=("end",)):
+        if element.tag == "node":
+            stats.nodes += 1
+            node_id = int(element.attrib["id"])
+            nodes[node_id] = OSMNode(
+                id=node_id,
+                lat=float(element.attrib["lat"]),
+                lon=float(element.attrib["lon"]),
+            )
+            element.clear()
+        elif element.tag == "way":
+            stats.ways += 1
+            refs = [int(nd.attrib["ref"]) for nd in element.findall("nd")]
+            tags = {
+                tag.attrib.get("k", ""): tag.attrib.get("v", "")
+                for tag in element.findall("tag")
+            }
+            if "highway" in tags:
+                stats.highway_ways += 1
+                way = normalize_way(int(element.attrib["id"]), refs, tags)
+                if way is not None:
+                    raw_ways.append(way)
+                else:
+                    stats.skipped_unknown_class += 1
+            element.clear()
+        elif element.tag == "relation":
+            element.clear()
+    return _finish_network(nodes, raw_ways, stats)
+
+
+def parse_osm_json(source: Union[str, Path, IO[str], Mapping]) -> OSMNetwork:
+    """Parse an Overpass ``[out:json]`` document (``{"elements": [...]}``)."""
+    if isinstance(source, Mapping):
+        document = source
+    elif isinstance(source, (str, Path)) and not str(source).lstrip().startswith("{"):
+        document = json.loads(Path(source).read_text(encoding="utf-8"))
+    elif isinstance(source, str):
+        document = json.loads(source)
+    else:
+        document = json.load(source)
+    stats = ParseStats()
+    nodes: Dict[int, OSMNode] = {}
+    raw_ways: List[OSMWay] = []
+    for element in document.get("elements", ()):
+        kind = element.get("type")
+        if kind == "node":
+            stats.nodes += 1
+            node_id = int(element["id"])
+            nodes[node_id] = OSMNode(
+                id=node_id, lat=float(element["lat"]), lon=float(element["lon"])
+            )
+        elif kind == "way":
+            stats.ways += 1
+            tags = {str(k): str(v) for k, v in element.get("tags", {}).items()}
+            if "highway" in tags:
+                stats.highway_ways += 1
+                way = normalize_way(int(element["id"]), element.get("nodes", ()), tags)
+                if way is not None:
+                    raw_ways.append(way)
+                else:
+                    stats.skipped_unknown_class += 1
+    return _finish_network(nodes, raw_ways, stats)
+
+
+def load_osm(source: Union[str, Path, IO[bytes], IO[str]]) -> OSMNetwork:
+    """Parse an OSM extract, sniffing XML vs Overpass-JSON.
+
+    Accepts a path, an open file object, or the document content itself.
+    """
+    if isinstance(source, (str, Path)):
+        text = str(source).lstrip()
+        if text.startswith("<"):
+            return parse_osm_xml(source)
+        if text.startswith("{"):
+            return parse_osm_json(str(source))
+        path = Path(source)
+        with path.open("rb") as fh:
+            head = fh.read(64).lstrip()
+        if head.startswith(b"{"):
+            return parse_osm_json(path)
+        return parse_osm_xml(path)
+    head = source.read(64)
+    rest = source.read()
+    text = head + rest
+    if isinstance(text, bytes):
+        stripped = text.lstrip()
+        if stripped.startswith(b"{"):
+            return parse_osm_json(text.decode("utf-8"))
+        return parse_osm_xml(io.BytesIO(text))
+    return load_osm(text)
+
+
+# --------------------------------------------------------------------------- #
+# projection stage
+# --------------------------------------------------------------------------- #
+@dataclass
+class ProjectedNetwork:
+    """An :class:`OSMNetwork` with node positions in local planar metres."""
+
+    network: OSMNetwork
+    projection: LocalProjection
+    positions: Dict[int, np.ndarray]
+
+    @property
+    def origin(self) -> Tuple[float, float]:
+        """The geodesic ``(lat, lon)`` anchoring the local frame."""
+        return (self.projection.ref_lat, self.projection.ref_lon)
+
+
+def project_network(
+    network: OSMNetwork, origin: Optional[Tuple[float, float]] = None
+) -> ProjectedNetwork:
+    """Map the network's WGS-84 nodes into the local planar metre frame.
+
+    ``origin`` defaults to the centre of the node bounding box; pass an
+    explicit ``(lat, lon)`` to place several extracts in one shared frame.
+    """
+    if origin is None:
+        min_lat, min_lon, max_lat, max_lon = network.bounds_geodetic()
+        origin = ((min_lat + max_lat) / 2.0, (min_lon + max_lon) / 2.0)
+    projection = LocalProjection(ref_lat=float(origin[0]), ref_lon=float(origin[1]))
+    node_ids = list(network.nodes)
+    if node_ids:
+        lats = np.array([network.nodes[nid].lat for nid in node_ids])
+        lons = np.array([network.nodes[nid].lon for nid in node_ids])
+        local = projection.to_local_array(lats, lons)
+        positions = {nid: local[i] for i, nid in enumerate(node_ids)}
+    else:
+        positions = {}
+    return ProjectedNetwork(network=network, projection=projection, positions=positions)

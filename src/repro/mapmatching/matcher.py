@@ -78,12 +78,24 @@ class MatcherConfig:
     reacquire_interval:
         When off-map, a full spatial-index query is issued every this many
         sightings to try to return to the map.
+    advance_at_link_end:
+        When the projection onto the current link clamps at the link's end
+        (the object has passed the far intersection) but is still within
+        ``um``, immediately try forward-tracking and advance whenever an
+        outgoing link matches strictly better — instead of staying clamped
+        to the endpoint until the distance exceeds ``um``.  This makes the
+        matched positions independent of how a road is segmented into
+        links, which the ingest benchmark relies on when comparing raw
+        vs degree-2-contracted imported graphs.  Off by default: the
+        clamped behaviour is what the paper's evaluation (and the golden
+        metrics) pin down.
     """
 
     tolerance: float = 30.0
     end_proximity: float = 50.0
     backtrack_depth: int = 2
     reacquire_interval: int = 5
+    advance_at_link_end: bool = False
 
     def __post_init__(self) -> None:
         if self.tolerance <= 0:
@@ -195,6 +207,13 @@ class IncrementalMapMatcher:
             flipped = self._maybe_flip_direction(p, offset, dist)
             if flipped is not None:
                 return flipped
+            if (
+                self.config.advance_at_link_end
+                and offset >= self._current_link.length - 1e-6
+            ):
+                advanced = self._advance_past_end(p)
+                if advanced is not None:
+                    return advanced
             self._last_offset = offset
             return MatchResult(
                 MatchStatus.MATCHED, self._current_link.id, offset, matched, dist
@@ -217,6 +236,17 @@ class IncrementalMapMatcher:
             if result is None:
                 result = self._forward_track(p)
         if result is not None:
+            if (
+                self.config.advance_at_link_end
+                and result.offset is not None
+                and self._current_link is not None
+                and result.offset >= self._current_link.length - 1e-6
+            ):
+                # The recovered match itself clamps at a link end — the
+                # sighting passed more than one link since the last one.
+                advanced = self._advance_past_end(p)
+                if advanced is not None:
+                    return advanced
             return result
         return self._declare_off_map(p)
 
@@ -273,8 +303,40 @@ class IncrementalMapMatcher:
             self.n_backward_tracks += 1
         return result
 
+    def _advance_past_end(self, p: np.ndarray) -> Optional[MatchResult]:
+        """Follow outgoing links while they match strictly better.
+
+        Called when the projection clamps at the current link's end but is
+        still within tolerance (``advance_at_link_end``).  The loop handles
+        sightings that legitimately pass several short links between two
+        samples, as happens on uncontracted imported graphs.
+        """
+        best: Optional[MatchResult] = None
+        for _ in range(64):  # bounded: every step strictly improves the match
+            assert self._current_link is not None
+            _, offset, dist = self._current_link.project(p)
+            misaligned = self._alignment(self._current_link, offset) < 0.0
+            result = self._best_candidate(
+                p,
+                self.roadmap.outgoing_links(self._current_link.to_node),
+                exclude=self._current_link.id,
+                better_than=(misaligned, dist),
+            )
+            if result is None:
+                break
+            self.n_forward_tracks += 1
+            best = result
+            assert result.offset is not None
+            if result.offset < self._current_link.length - 1e-6:
+                break  # the match is interior now; no further link passed
+        return best
+
     def _best_candidate(
-        self, p: np.ndarray, candidates: List[Link], exclude: Optional[int] = None
+        self,
+        p: np.ndarray,
+        candidates: List[Link],
+        exclude: Optional[int] = None,
+        better_than: Optional[tuple] = None,
     ) -> Optional[MatchResult]:
         # Candidates are ranked primarily by whether the object's heading is
         # compatible with the link direction (so the correct carriageway of a
@@ -289,6 +351,8 @@ class IncrementalMapMatcher:
                 continue
             misaligned = self._alignment(link, offset) < 0.0
             key = (misaligned, dist)
+            if better_than is not None and key >= better_than:
+                continue
             if best is None or key < (best[0], best[1]):
                 best = (misaligned, dist, link, matched, offset)
         if best is None:

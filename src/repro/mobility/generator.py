@@ -152,6 +152,79 @@ class Topology:
         }
 
 
+@dataclass(frozen=True)
+class RealMapTopology:
+    """Topology axis backed by an imported (OpenStreetMap) road network.
+
+    Drop-in alternative to :class:`Topology` for :class:`GeneratorSpec`:
+    it exposes the same ``kind`` / ``build(seed)`` / ``knobs`` surface, but
+    the road network comes out of the :mod:`repro.ingest` pipeline instead
+    of a synthetic generator.
+
+    Exactly one of the two sources is used:
+
+    ``map_file``
+        Path to an OSM extract (XML or Overpass JSON).  Imported through
+        the compiled-map disk cache, so repeated sweeps skip re-parsing.
+        The network is *invariant under the scenario seed* — a real city
+        does not change shape per run; the seed still drives route choice,
+        traffic and sensor noise.
+    ``fixture``
+        Name of a deterministic synthetic extract from
+        :data:`repro.ingest.fixtures.FIXTURES` (used by the library's
+        ``osm_*`` scenarios and CI, where no real extract is available).
+        The seed *is* forwarded, so different seeds get different towns.
+
+    ``bbox`` (``(min_lat, min_lon, max_lat, max_lon)``) clips the import,
+    ``contract=False`` skips degree-2 contraction (benchmarks only).
+    """
+
+    map_file: Optional[str] = None
+    fixture: Optional[str] = None
+    bbox: Optional[Tuple[float, float, float, float]] = None
+    contract: bool = True
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.map_file is None) == (self.fixture is None):
+            raise ValueError("exactly one of map_file / fixture must be given")
+
+    @property
+    def kind(self) -> str:
+        return "osm"
+
+    def build(self, seed: int) -> RoadMap:
+        """Materialise the imported road network."""
+        # Runtime import: keeps the ingest machinery out of scenario-library
+        # import time and avoids any package-cycle risk.
+        from repro.ingest import build_fixture_xml, compile_osm, import_map
+
+        if self.map_file is not None:
+            return import_map(
+                self.map_file,
+                bbox=self.bbox,
+                contract=self.contract,
+                cache_dir=self.cache_dir,
+            ).roadmap
+        xml = build_fixture_xml(self.fixture, seed)
+        return compile_osm(
+            xml,
+            bbox=self.bbox,
+            contract=self.contract,
+            source_name=f"fixture:{self.fixture}/seed={seed}",
+        ).roadmap
+
+    @property
+    def knobs(self) -> Dict[str, object]:
+        source = self.map_file if self.map_file is not None else f"fixture:{self.fixture}"
+        out: Dict[str, object] = {"source": source}
+        if self.bbox is not None:
+            out["bbox"] = self.bbox
+        if not self.contract:
+            out["contract"] = False
+        return out
+
+
 # --------------------------------------------------------------------------- #
 # traffic regime
 # --------------------------------------------------------------------------- #

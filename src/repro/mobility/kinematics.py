@@ -55,6 +55,12 @@ class DriverProfile:
     speed_noise_sigma:
         Standard deviation of a slowly varying multiplicative perturbation of
         the desired speed, modelling traffic-induced speed fluctuation.
+    speed_cap:
+        Absolute ceiling on the assumed legal speed in m/s, applied *before*
+        ``speed_factor``.  Agents whose pace is physical rather than legal
+        (pedestrians) use it so that a high link speed limit — a street of
+        an imported real map — does not translate into running at car
+        speed.  ``None`` (the default) leaves link limits untouched.
     """
 
     speed_factor: float = 0.95
@@ -64,10 +70,13 @@ class DriverProfile:
     stop_probability: float = 0.0
     stop_duration_range: tuple[float, float] = (5.0, 45.0)
     speed_noise_sigma: float = 0.03
+    speed_cap: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.speed_factor <= 0:
             raise ValueError("speed_factor must be positive")
+        if self.speed_cap is not None and self.speed_cap <= 0:
+            raise ValueError("speed_cap must be positive")
         if self.max_acceleration <= 0 or self.max_deceleration <= 0:
             raise ValueError("accelerations must be positive")
         if self.lateral_acceleration <= 0:
@@ -157,7 +166,10 @@ class SpeedController:
         targets = np.empty(len(self._offsets))
         noise = 1.0
         for i, offset in enumerate(self._offsets):
-            legal = self.route.speed_limit_at(offset) * profile.speed_factor
+            limit = self.route.speed_limit_at(offset)
+            if profile.speed_cap is not None:
+                limit = min(limit, profile.speed_cap)
+            legal = limit * profile.speed_factor
             curvature = self._curvature_at(offset)
             if curvature > 1e-9:
                 curve_speed = math.sqrt(profile.lateral_acceleration / curvature)

@@ -19,6 +19,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.mobility.kinematics import DriverProfile
 from repro.mobility.vehicle import SimulatedJourney, VehicleSimulator
+from repro.roadmap.elements import RoadClass
 from repro.roadmap.routing import Route
 
 
@@ -45,7 +46,14 @@ class PedestrianProfile:
     speed_noise_sigma: float = 0.1
 
     def as_driver_profile(self) -> DriverProfile:
-        """Translate into the generic longitudinal-controller profile."""
+        """Translate into the generic longitudinal-controller profile.
+
+        The ``speed_cap`` pins the pace to walking speed regardless of the
+        link's legal limit: on dedicated footpath networks the two coincide
+        (the cap equals the footpath class limit, so nothing changes), but
+        a pedestrian on an imported street map must not inherit the
+        street's 50 km/h.
+        """
         return DriverProfile(
             speed_factor=self.walking_speed_factor,
             max_acceleration=0.8,
@@ -54,6 +62,7 @@ class PedestrianProfile:
             stop_probability=self.pause_probability,
             stop_duration_range=self.pause_duration_range,
             speed_noise_sigma=self.speed_noise_sigma,
+            speed_cap=RoadClass.FOOTPATH.default_speed_limit,
         )
 
 

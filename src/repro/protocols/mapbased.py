@@ -57,6 +57,12 @@ class MapBasedConfig:
     reacquire_interval:
         When off-map, how often (in sightings) the source re-queries the
         spatial index to return to the map-based protocol.
+    advance_at_link_end:
+        Forward-track as soon as the projection clamps at the current
+        link's end instead of staying clamped within ``um`` (see
+        :class:`~repro.mapmatching.matcher.MatcherConfig`).  Makes the
+        matching invariant to link segmentation on imported maps; off by
+        default to preserve the paper's evaluated behaviour.
     update_on_off_map:
         Send an update with an empty link as soon as the object can no
         longer be matched (paper behaviour).  Disabling this delays the
@@ -79,6 +85,7 @@ class MapBasedConfig:
     end_proximity: float = 50.0
     backtrack_depth: int = 2
     reacquire_interval: int = 5
+    advance_at_link_end: bool = False
     update_on_off_map: bool = True
     update_on_reacquire: bool = False
     use_corrected_position: bool = True
@@ -91,6 +98,7 @@ class MapBasedConfig:
             end_proximity=self.end_proximity,
             backtrack_depth=self.backtrack_depth,
             reacquire_interval=self.reacquire_interval,
+            advance_at_link_end=self.advance_at_link_end,
         )
 
 

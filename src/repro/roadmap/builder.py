@@ -145,10 +145,15 @@ class RoadMapBuilder:
         """Number of links added so far."""
         return len(self._links)
 
-    def build(self) -> RoadMap:
-        """Assemble the immutable :class:`RoadMap`."""
+    def build(self, metadata: Optional[Dict] = None) -> RoadMap:
+        """Assemble the immutable :class:`RoadMap`.
+
+        *metadata* records the map's provenance (source extract, geodesic
+        origin, ingest report) and survives save/load round-trips.
+        """
         return RoadMap(
             self._intersections.values(),
             self._links.values(),
             index_cell_size=self._index_cell_size,
+            metadata=metadata,
         )

@@ -41,6 +41,10 @@ class RoadMap:
         direction, exactly like commercial navigation maps do.
     index_cell_size:
         Cell size of the spatial index built over link geometry.
+    metadata:
+        Optional provenance of the map (imported maps record their source
+        extract, geodesic origin and ingest report here).  Round-tripped by
+        :mod:`repro.roadmap.io`.
     """
 
     def __init__(
@@ -48,7 +52,9 @@ class RoadMap:
         intersections: Iterable[Intersection],
         links: Iterable[Link],
         index_cell_size: float = 250.0,
+        metadata: Optional[Dict] = None,
     ):
+        self._metadata: Dict = dict(metadata) if metadata else {}
         self._intersections: Dict[int, Intersection] = {}
         for node in intersections:
             if node.id in self._intersections:
@@ -87,6 +93,11 @@ class RoadMap:
     def links(self) -> Dict[int, Link]:
         """Mapping of link id to :class:`Link`."""
         return dict(self._links)
+
+    @property
+    def metadata(self) -> Dict:
+        """Provenance metadata (empty for synthetic maps)."""
+        return self._metadata
 
     def intersection(self, node_id: int) -> Intersection:
         """Look up an intersection by id."""

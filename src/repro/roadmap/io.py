@@ -1,8 +1,19 @@
 """Serialisation of road maps to and from JSON.
 
 A portable, dependency-free JSON format keeps maps reproducible across runs
-and lets users plug in their own networks (for example, one exported from
-OpenStreetMap by an external tool) without touching the generators.
+and lets users plug in their own networks (for example, one imported from
+OpenStreetMap by :mod:`repro.ingest`) without touching the generators.
+
+Version history
+---------------
+1
+    Intersections + links (positions, shape points, class, speed limit).
+2
+    Adds the optional top-level ``metadata`` object: imported maps record
+    their source extract, geodesic origin (``metadata["origin"]["lat"]`` /
+    ``["lon"]``) and ingest report there, and the compiled-map cache relies
+    on it surviving the round trip.  Version-1 documents still load (their
+    metadata is simply empty).
 """
 
 from __future__ import annotations
@@ -16,12 +27,15 @@ from repro.roadmap.elements import RoadClass
 from repro.roadmap.graph import RoadMap
 
 #: Format version written into every file; bumped on incompatible changes.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions this build can read.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def roadmap_to_dict(roadmap: RoadMap) -> dict:
     """Convert a :class:`RoadMap` to a JSON-serialisable dictionary."""
-    return {
+    document = {
         "format": "repro-roadmap",
         "version": FORMAT_VERSION,
         "intersections": [
@@ -43,15 +57,36 @@ def roadmap_to_dict(roadmap: RoadMap) -> dict:
             for link in roadmap.links.values()
         ],
     }
+    if roadmap.metadata:
+        document["metadata"] = roadmap.metadata
+    return document
 
 
-def roadmap_from_dict(data: dict) -> RoadMap:
-    """Rebuild a :class:`RoadMap` from :func:`roadmap_to_dict` output."""
+def roadmap_from_dict(data: dict, index_cell_size: float = 250.0) -> RoadMap:
+    """Rebuild a :class:`RoadMap` from :func:`roadmap_to_dict` output.
+
+    ``index_cell_size`` sizes the rebuilt spatial index — the index is a
+    runtime structure, not part of the document, so a loader wanting
+    non-default granularity passes it here (the compiled-map cache does).
+
+    Raises
+    ------
+    ValueError
+        If the document is not a repro road map, or was written by a format
+        version this build cannot read (the message names both versions, so
+        a stale compiled-map cache is diagnosable at a glance).
+    """
     if data.get("format") != "repro-roadmap":
         raise ValueError("not a repro road-map document")
-    if data.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported road-map format version {data.get('version')!r}")
-    builder = RoadMapBuilder()
+    version = data.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
+        raise ValueError(
+            f"unsupported road-map format version {version!r}; this build reads "
+            f"versions {supported}. Re-export the map (or re-run `repro "
+            f"import-map`) to regenerate it in the current format."
+        )
+    builder = RoadMapBuilder(index_cell_size=index_cell_size)
     for node in data["intersections"]:
         builder.add_intersection((node["x"], node["y"]), node_id=int(node["id"]))
     for link in data["links"]:
@@ -64,7 +99,7 @@ def roadmap_from_dict(data: dict) -> RoadMap:
             name=link.get("name", ""),
             link_id=int(link["id"]),
         )
-    return builder.build()
+    return builder.build(metadata=data.get("metadata"))
 
 
 def save_roadmap(roadmap: RoadMap, path: Union[str, Path]) -> None:
@@ -73,7 +108,9 @@ def save_roadmap(roadmap: RoadMap, path: Union[str, Path]) -> None:
     path.write_text(json.dumps(roadmap_to_dict(roadmap)), encoding="utf-8")
 
 
-def load_roadmap(path: Union[str, Path]) -> RoadMap:
+def load_roadmap(path: Union[str, Path], index_cell_size: float = 250.0) -> RoadMap:
     """Read a road map previously written by :func:`save_roadmap`."""
     path = Path(path)
-    return roadmap_from_dict(json.loads(path.read_text(encoding="utf-8")))
+    return roadmap_from_dict(
+        json.loads(path.read_text(encoding="utf-8")), index_cell_size=index_cell_size
+    )

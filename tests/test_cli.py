@@ -208,3 +208,134 @@ class TestLibraryCommands:
     def test_fleet_rejects_malformed_mix(self, capsys):
         assert cli.main(["fleet", "--mix", "nonsense"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestImportMap:
+    @pytest.fixture
+    def extract(self, tmp_path):
+        from repro.ingest import write_fixture_xml
+
+        path = tmp_path / "smalltown.osm"
+        write_fixture_xml(path, seed=11, rows=4, cols=4)
+        return path
+
+    def test_import_map_miss_then_hit(self, extract, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert cli.main(
+            ["--json", "import-map", str(extract), "--cache-dir", cache_dir]
+        ) == 0
+        first = json.loads(capsys.readouterr().out)[0]
+        assert first["cached"] is False
+        assert first["links"] > 0
+        assert first["nodes_contracted"] > 0
+
+        assert cli.main(
+            ["--json", "import-map", str(extract), "--cache-dir", cache_dir]
+        ) == 0
+        second = json.loads(capsys.readouterr().out)[0]
+        assert second["cached"] is True
+        assert second["links"] == first["links"]
+
+    def test_import_map_out_is_loadable(self, extract, tmp_path, capsys):
+        out = tmp_path / "compiled.json"
+        assert cli.main(
+            [
+                "import-map", str(extract),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(out),
+            ]
+        ) == 0
+        roadmap = load_roadmap(out)
+        assert roadmap.num_links() > 0
+        assert roadmap.metadata["source"] == "smalltown.osm"
+
+    def test_import_map_no_compact(self, extract, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert cli.main(
+            ["--json", "import-map", str(extract), "--cache-dir", cache_dir]
+        ) == 0
+        compact = json.loads(capsys.readouterr().out)[0]
+        assert cli.main(
+            [
+                "--json", "import-map", str(extract),
+                "--cache-dir", cache_dir, "--no-compact",
+            ]
+        ) == 0
+        raw = json.loads(capsys.readouterr().out)[0]
+        assert raw["links"] > compact["links"]
+        assert raw["nodes_contracted"] == 0
+
+    def test_import_map_missing_file(self, tmp_path, capsys):
+        assert cli.main(
+            ["import-map", str(tmp_path / "nope.osm")]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_import_map_bad_bbox(self, extract, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["import-map", str(extract), "--bbox", "1,2,3"])
+
+
+class TestMapFileScenarios:
+    @pytest.fixture
+    def extract(self, tmp_path):
+        from repro.ingest import write_fixture_xml
+
+        path = tmp_path / "cliville.osm"
+        write_fixture_xml(path, seed=13, rows=4, cols=4)
+        return path
+
+    @pytest.fixture(autouse=True)
+    def _unregister(self):
+        # Map-file registration is process-global; tests must not leak the
+        # tmp-path-backed scenario into the rest of the suite (or into each
+        # other: the same stem under a different tmp_path is a collision).
+        yield
+        from repro.experiments.library import unregister_scenario
+
+        try:
+            unregister_scenario("osm_cliville")
+        except KeyError:
+            pass
+
+    def test_sweep_map_file(self, extract, tmp_path, capsys):
+        assert cli.main(
+            [
+                "--json", "sweep", "--map-file", str(extract),
+                "--map-cache-dir", str(tmp_path / "cache"),
+                "--protocol", "map", "--scale", "0.05", "--accuracies", "100",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "registered imported map as scenario 'osm_cliville'" in captured.err
+        rows = json.loads(captured.out)
+        assert rows[0]["updates"] >= 1
+        assert rows[0]["mean_error_m"] >= 0
+
+    def test_sweep_rejects_scenario_and_map_file(self, extract, capsys):
+        assert cli.main(
+            [
+                "sweep", "--scenario", "city", "--map-file", str(extract),
+                "--protocol", "map",
+            ]
+        ) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_sweep_requires_scenario_or_map_file(self, capsys):
+        assert cli.main(["sweep", "--protocol", "map"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_fleet_map_file(self, extract, tmp_path, capsys):
+        assert cli.main(
+            [
+                "--json", "fleet",
+                "--map-file", str(extract),
+                "--map-cache-dir", str(tmp_path / "cache"),
+                "--mix", "osm_cliville:map:100:3",
+                "--mix", "osm_cliville:linear:100:2",
+                "--scale", "0.05",
+            ]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["objects"] == 5
+        assert rows[0]["total_updates"] > 0

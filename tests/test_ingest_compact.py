@@ -1,0 +1,314 @@
+"""Unit tests for repro.ingest.compact: conditioning passes and assembly."""
+
+import numpy as np
+import pytest
+
+from repro.ingest.compact import (
+    Segment,
+    clip_segments,
+    compile_roadmap,
+    contract_chains,
+    largest_component,
+    network_segments,
+    prune_stubs,
+    segments_to_roadmap,
+)
+from repro.ingest.osm import parse_osm_xml, project_network
+from repro.roadmap.elements import RoadClass
+
+
+def seg(a, b, pa, pb, *, oneway=False, road_class=RoadClass.RESIDENTIAL,
+        speed_limit=None, name=""):
+    return Segment(
+        a=a, b=b, points=np.array([pa, pb], dtype=float),
+        road_class=road_class, speed_limit=speed_limit, oneway=oneway, name=name,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# segment extraction and clipping
+# --------------------------------------------------------------------------- #
+GRID_XML = """<?xml version="1.0"?>
+<osm version="0.6">
+  <node id="1" lat="48.700" lon="9.100"/>
+  <node id="2" lat="48.700" lon="9.104"/>
+  <node id="3" lat="48.700" lon="9.108"/>
+  <node id="4" lat="48.704" lon="9.104"/>
+  <way id="1">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="2">
+    <nd ref="2"/><nd ref="4"/>
+    <tag k="highway" v="residential"/>
+  </way>
+</osm>
+"""
+
+
+class TestSegmentsAndClip:
+    def test_one_segment_per_node_pair(self):
+        projected = project_network(parse_osm_xml(GRID_XML))
+        segments = network_segments(projected)
+        assert len(segments) == 3
+        assert {(s.a, s.b) for s in segments} == {(1, 2), (2, 3), (2, 4)}
+        assert all(s.length > 0 for s in segments)
+
+    def test_clip_drops_segments_with_outside_endpoints(self):
+        projected = project_network(parse_osm_xml(GRID_XML))
+        segments = network_segments(projected)
+        kept, dropped = clip_segments(
+            segments, projected, (48.699, 9.099, 48.701, 9.105)
+        )
+        # Node 3 (lon 9.108) and node 4 (lat 48.704) fall outside.
+        assert {(s.a, s.b) for s in kept} == {(1, 2)}
+        assert dropped == 2
+
+    def test_invalid_bbox_raises(self):
+        projected = project_network(parse_osm_xml(GRID_XML))
+        with pytest.raises(ValueError, match="min_lat, min_lon"):
+            clip_segments(network_segments(projected), projected, (49, 9, 48, 10))
+
+
+# --------------------------------------------------------------------------- #
+# connected components
+# --------------------------------------------------------------------------- #
+class TestLargestComponent:
+    def test_keeps_longest_component(self):
+        main = [
+            seg(1, 2, (0, 0), (100, 0)),
+            seg(2, 3, (100, 0), (200, 0)),
+        ]
+        island = [seg(10, 11, (1000, 0), (1050, 0))]
+        kept, dropped_components, dropped_segments = largest_component(main + island)
+        assert {(s.a, s.b) for s in kept} == {(1, 2), (2, 3)}
+        assert dropped_components == 1
+        assert dropped_segments == 1
+
+    def test_length_beats_segment_count(self):
+        # Three short segments vs one very long one: length wins.
+        short = [
+            seg(1, 2, (0, 0), (10, 0)),
+            seg(2, 3, (10, 0), (20, 0)),
+            seg(3, 4, (20, 0), (30, 0)),
+        ]
+        long = [seg(10, 11, (0, 500), (5000, 500))]
+        kept, _, _ = largest_component(short + long)
+        assert {(s.a, s.b) for s in kept} == {(10, 11)}
+
+    def test_empty_input(self):
+        assert largest_component([]) == ([], 0, 0)
+
+
+# --------------------------------------------------------------------------- #
+# stub pruning
+# --------------------------------------------------------------------------- #
+class TestPruneStubs:
+    def _network_with_stub(self, stub_segments):
+        ring = [
+            seg(1, 2, (0, 0), (100, 0)),
+            seg(2, 3, (100, 0), (100, 100)),
+            seg(3, 1, (100, 100), (0, 0)),
+        ]
+        return ring + stub_segments
+
+    def test_short_stub_removed(self):
+        segments = self._network_with_stub([seg(2, 10, (100, 0), (115, 0))])
+        kept, pruned = prune_stubs(segments, min_length_m=40.0)
+        assert pruned == 1
+        assert all(s.b != 10 for s in kept)
+
+    def test_multi_segment_stub_removed_to_fixpoint(self):
+        stub = [
+            seg(2, 10, (100, 0), (110, 0)),
+            seg(10, 11, (110, 0), (120, 0)),
+        ]
+        kept, pruned = prune_stubs(self._network_with_stub(stub), min_length_m=40.0)
+        assert pruned == 2
+        assert len(kept) == 3
+
+    def test_long_culdesac_survives(self):
+        segments = self._network_with_stub([seg(2, 10, (100, 0), (300, 0))])
+        kept, pruned = prune_stubs(segments, min_length_m=40.0)
+        assert pruned == 0
+        assert len(kept) == 4
+
+    def test_disabled_with_zero_threshold(self):
+        segments = self._network_with_stub([seg(2, 10, (100, 0), (101, 0))])
+        kept, pruned = prune_stubs(segments, min_length_m=0.0)
+        assert pruned == 0
+        assert len(kept) == 4
+
+
+# --------------------------------------------------------------------------- #
+# degree-2 contraction
+# --------------------------------------------------------------------------- #
+class TestContractChains:
+    def test_simple_chain_merges_with_shape_points(self):
+        segments = [
+            seg(1, 2, (0, 0), (50, 5)),
+            seg(2, 3, (50, 5), (100, 0)),
+            seg(3, 4, (100, 0), (150, -5)),
+        ]
+        merged, contracted = contract_chains(segments)
+        assert contracted == 2
+        assert len(merged) == 1
+        (chain,) = merged
+        assert (chain.a, chain.b) == (1, 4)
+        assert chain.points.shape == (4, 2)
+        assert chain.length == pytest.approx(sum(s.length for s in segments))
+
+    def test_attribute_change_blocks_contraction(self):
+        segments = [
+            seg(1, 2, (0, 0), (50, 0), road_class=RoadClass.PRIMARY),
+            seg(2, 3, (50, 0), (100, 0), road_class=RoadClass.RESIDENTIAL),
+        ]
+        merged, contracted = contract_chains(segments)
+        assert contracted == 0
+        assert len(merged) == 2
+
+    def test_speed_limit_change_blocks_contraction(self):
+        segments = [
+            seg(1, 2, (0, 0), (50, 0), speed_limit=13.9),
+            seg(2, 3, (50, 0), (100, 0), speed_limit=8.3),
+        ]
+        merged, contracted = contract_chains(segments)
+        assert contracted == 0
+
+    def test_junction_blocks_contraction(self):
+        segments = [
+            seg(1, 2, (0, 0), (50, 0)),
+            seg(2, 3, (50, 0), (100, 0)),
+            seg(2, 4, (50, 0), (50, 80)),  # third leg makes node 2 a junction
+        ]
+        merged, contracted = contract_chains(segments)
+        assert contracted == 0
+        assert len(merged) == 3
+
+    def test_oneway_flow_through_contracts(self):
+        segments = [
+            seg(1, 2, (0, 0), (50, 0), oneway=True),
+            seg(2, 3, (50, 0), (100, 0), oneway=True),
+        ]
+        merged, contracted = contract_chains(segments)
+        assert contracted == 1
+        (chain,) = merged
+        assert (chain.a, chain.b) == (1, 3)
+        assert chain.oneway
+
+    def test_converging_oneways_block_contraction(self):
+        segments = [
+            seg(1, 2, (0, 0), (50, 0), oneway=True),
+            seg(3, 2, (100, 0), (50, 0), oneway=True),  # both flow into node 2
+        ]
+        merged, contracted = contract_chains(segments)
+        assert contracted == 0
+        assert len(merged) == 2
+
+    def test_oneway_vs_twoway_blocks_contraction(self):
+        segments = [
+            seg(1, 2, (0, 0), (50, 0), oneway=True),
+            seg(2, 3, (50, 0), (100, 0), oneway=False),
+        ]
+        merged, contracted = contract_chains(segments)
+        assert contracted == 0
+
+    def test_oneway_chain_against_walk_direction(self):
+        # The walk starts at junction 9 (the smallest non-pass-through
+        # node), i.e. against the flow 1 -> 2 -> 9; geometry must still
+        # come out oriented along the flow.
+        segments = [
+            seg(1, 2, (0, 0), (50, 0), oneway=True),
+            seg(2, 9, (50, 0), (100, 0), oneway=True),
+            seg(9, 20, (100, 0), (100, 90)),  # junction leg at node 9
+            seg(9, 21, (100, 0), (100, -90)),
+        ]
+        merged, contracted = contract_chains(segments)
+        assert contracted == 1
+        chain = next(s for s in merged if s.oneway)
+        assert (chain.a, chain.b) == (1, 9)
+        assert np.allclose(chain.points[0], (0, 0))
+        assert np.allclose(chain.points[-1], (100, 0))
+
+    def test_parallel_pair_does_not_become_self_loop(self):
+        segments = [
+            seg(1, 2, (0, 0), (50, 40)),
+            seg(2, 1, (50, 40), (0, 0)),
+        ]
+        merged, contracted = contract_chains(segments)
+        assert contracted == 0
+        assert all(s.a != s.b for s in merged)
+
+    def test_pure_cycle_breaks_at_smallest_node(self):
+        segments = [
+            seg(5, 6, (0, 0), (100, 0)),
+            seg(6, 7, (100, 0), (100, 100)),
+            seg(7, 5, (100, 100), (0, 0)),
+        ]
+        merged, contracted = contract_chains(segments)
+        assert len(merged) == 1
+        (loop,) = merged
+        assert loop.a == loop.b == 5
+        assert contracted == 2
+
+    def test_junction_degrees_preserved(self):
+        # A cross with bead chains on every arm: the centre keeps degree 4.
+        segments = []
+        nid = 100
+        for arm, (dx, dy) in enumerate([(1, 0), (-1, 0), (0, 1), (0, -1)]):
+            prev, px, py = 0, 0.0, 0.0
+            for step in range(1, 4):
+                node = nid + arm * 10 + step
+                x, y = dx * step * 40.0, dy * step * 40.0
+                segments.append(seg(prev, node, (px, py), (x, y)))
+                prev, px, py = node, x, y
+        merged, contracted = contract_chains(segments)
+        assert contracted == 8  # two beads per arm
+        assert sum(1 for s in merged if 0 in (s.a, s.b)) == 4
+
+
+# --------------------------------------------------------------------------- #
+# assembly
+# --------------------------------------------------------------------------- #
+class TestAssembly:
+    def test_two_way_segments_emit_both_directions(self):
+        segments = [
+            seg(1, 2, (0, 0), (100, 0)),
+            seg(2, 3, (100, 0), (200, 0), oneway=True),
+        ]
+        roadmap = segments_to_roadmap(segments, metadata={"source": "test"})
+        assert roadmap.num_intersections() == 3
+        assert roadmap.num_links() == 3  # 1<->2 both ways, 2->3 one way
+        assert roadmap.metadata["source"] == "test"
+
+    def test_shape_points_survive(self):
+        chain = Segment(
+            a=1, b=2,
+            points=np.array([(0, 0), (50, 10), (100, 0)], dtype=float),
+            road_class=RoadClass.SECONDARY, speed_limit=None, oneway=False,
+        )
+        roadmap = segments_to_roadmap([chain])
+        forward = next(
+            l for l in roadmap.links.values() if l.from_node == 1 and l.to_node == 2
+        )
+        backward = next(
+            l for l in roadmap.links.values() if l.from_node == 2 and l.to_node == 1
+        )
+        assert forward.shape_points().tolist() == [[50.0, 10.0]]
+        assert backward.shape_points().tolist() == [[50.0, 10.0]]
+        assert forward.length == pytest.approx(backward.length)
+
+    def test_compile_roadmap_full_pipeline(self):
+        projected = project_network(parse_osm_xml(GRID_XML))
+        compiled = compile_roadmap(projected, min_stub_m=0.0, source="grid.osm")
+        assert compiled.roadmap.num_intersections() >= 3
+        assert compiled.roadmap.metadata["source"] == "grid.osm"
+        assert compiled.roadmap.metadata["origin"]["lat"] == pytest.approx(
+            compiled.origin[0]
+        )
+        assert compiled.report.output_links == compiled.roadmap.num_links()
+
+    def test_compile_roadmap_empty_result_raises(self):
+        projected = project_network(parse_osm_xml(GRID_XML))
+        with pytest.raises(ValueError, match="removed the entire network"):
+            compile_roadmap(projected, bbox=(0.0, 0.0, 1.0, 1.0))

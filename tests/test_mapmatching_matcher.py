@@ -155,3 +155,99 @@ class TestCorrectedPosition:
         assert result.is_matched
         link = curved_map.link(result.link_id)
         assert 0.0 <= result.offset <= link.length
+
+
+class TestAdvanceAtLinkEnd:
+    """The opt-in segmentation-transparent forward tracking (ingest PR)."""
+
+    def _chain_maps(self):
+        """The same straight 300 m road as 1 link vs 3 chained links."""
+        from repro.roadmap.builder import RoadMapBuilder
+
+        merged = RoadMapBuilder()
+        merged.add_intersection((0.0, 0.0), node_id=0)
+        merged.add_intersection((300.0, 0.0), node_id=3)
+        merged.add_two_way_link(0, 3, shape_points=[(100.0, 0.0), (200.0, 0.0)])
+
+        split = RoadMapBuilder()
+        for i in range(4):
+            split.add_intersection((i * 100.0, 0.0), node_id=i)
+        for a, b in ((0, 1), (1, 2), (2, 3)):
+            split.add_two_way_link(a, b)
+        return merged.build(), split.build()
+
+    def _walk(self, roadmap, advance):
+        config = MatcherConfig(tolerance=30.0, advance_at_link_end=advance)
+        matcher = IncrementalMapMatcher(roadmap, config)
+        positions = []
+        for x in np.arange(5.0, 296.0, 13.0):
+            result = matcher.update((x, 2.0), heading=(1.0, 0.0))
+            assert result.is_matched
+            positions.append(result.position)
+        return np.array(positions)
+
+    def test_default_sticks_at_chain_node(self):
+        _, split = self._chain_maps()
+        positions = self._walk(split, advance=False)
+        # Sightings just past x=100 stay clamped to the first link's end.
+        clamped = positions[np.isclose(positions[:, 0], 100.0)]
+        assert len(clamped) >= 1
+
+    def test_advance_makes_matching_segmentation_invariant(self):
+        merged, split = self._chain_maps()
+        on_merged = self._walk(merged, advance=True)
+        on_split = self._walk(split, advance=True)
+        np.testing.assert_allclose(on_merged, on_split, atol=1e-9)
+        # And no clamping artefacts: every matched x tracks the sighting.
+        xs = np.arange(5.0, 296.0, 13.0)
+        np.testing.assert_allclose(on_split[:, 0], xs, atol=1e-6)
+
+    def test_advance_spanning_multiple_short_links(self):
+        """One sighting step can pass several links; the loop follows."""
+        from repro.roadmap.builder import RoadMapBuilder
+
+        builder = RoadMapBuilder()
+        for i in range(7):
+            builder.add_intersection((i * 20.0, 0.0), node_id=i)
+        for a in range(6):
+            builder.add_two_way_link(a, a + 1)
+        roadmap = builder.build()
+        config = MatcherConfig(tolerance=30.0, advance_at_link_end=True)
+        matcher = IncrementalMapMatcher(roadmap, config)
+        first = matcher.update((5.0, 1.0), heading=(1.0, 0.0))
+        assert first.is_matched
+        # 55 m ahead: passes links 0-1 and 1-2 entirely, lands on 2-3.
+        result = matcher.update((62.0, 1.0), heading=(1.0, 0.0))
+        assert result.is_matched
+        assert result.position[0] == pytest.approx(62.0, abs=1e-6)
+        link = roadmap.link(result.link_id)
+        assert {link.from_node, link.to_node} == {3, 4} or {
+            link.from_node, link.to_node
+        } == {2, 3}
+
+    def test_advance_does_not_cross_a_junction_blindly(self):
+        """At a real junction the best-matching arm wins, as before."""
+        from repro.roadmap.builder import RoadMapBuilder
+
+        builder = RoadMapBuilder()
+        builder.add_intersection((0.0, 0.0), node_id=0)
+        builder.add_intersection((100.0, 0.0), node_id=1)
+        builder.add_intersection((200.0, 0.0), node_id=2)
+        builder.add_intersection((100.0, 100.0), node_id=3)
+        builder.add_two_way_link(0, 1)
+        builder.add_two_way_link(1, 2)
+        builder.add_two_way_link(1, 3)
+        roadmap = builder.build()
+        config = MatcherConfig(tolerance=30.0, advance_at_link_end=True)
+        matcher = IncrementalMapMatcher(roadmap, config)
+        matcher.update((90.0, 1.0), heading=(1.0, 0.0))
+        # The object turns north.  The first sighting still projects onto
+        # the interior of the current link within um (paper behaviour, no
+        # end-clamp involved), so the matcher may keep it; by the next
+        # sighting the distance exceeds um and the northern arm must win.
+        first = matcher.update((99.0, 25.0), heading=(0.0, 1.0))
+        assert first.is_matched
+        result = matcher.update((99.0, 45.0), heading=(0.0, 1.0))
+        assert result.is_matched
+        link = roadmap.link(result.link_id)
+        assert 3 in (link.from_node, link.to_node)

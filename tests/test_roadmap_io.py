@@ -59,3 +59,47 @@ class TestFileRoundtrip:
         stats_a = original.statistics()
         stats_b = rebuilt.statistics()
         assert stats_a["total_length_km"] == pytest.approx(stats_b["total_length_km"])
+
+
+class TestMetadata:
+    def _imported_map(self):
+        from repro.ingest import compile_osm, synthetic_town_xml
+
+        return compile_osm(synthetic_town_xml(seed=2), source_name="town.osm").roadmap
+
+    def test_metadata_survives_dict_roundtrip(self):
+        original = self._imported_map()
+        rebuilt = roadmap_from_dict(roadmap_to_dict(original))
+        assert rebuilt.metadata == original.metadata
+        assert rebuilt.metadata["source"] == "town.osm"
+
+    def test_geodesic_origin_survives_file_roundtrip(self, tmp_path):
+        original = self._imported_map()
+        path = tmp_path / "imported.json"
+        save_roadmap(original, path)
+        rebuilt = load_roadmap(path)
+        assert rebuilt.metadata["origin"] == original.metadata["origin"]
+        assert rebuilt.metadata["ingest"]["conditioning"]["contracted"] is True
+
+    def test_synthetic_maps_have_empty_metadata(self):
+        roadmap = city_grid_map(rows=3, cols=3, seed=0)
+        assert roadmap.metadata == {}
+        assert "metadata" not in roadmap_to_dict(roadmap)
+
+    def test_version_1_documents_still_load(self):
+        data = roadmap_to_dict(city_grid_map(rows=3, cols=3, seed=5))
+        data["version"] = 1
+        data.pop("metadata", None)
+        rebuilt = roadmap_from_dict(data)
+        assert rebuilt.num_links() > 0
+        assert rebuilt.metadata == {}
+
+    def test_version_mismatch_error_is_actionable(self):
+        data = roadmap_to_dict(city_grid_map(rows=3, cols=3, seed=6))
+        data["version"] = 99
+        with pytest.raises(ValueError) as excinfo:
+            roadmap_from_dict(data)
+        message = str(excinfo.value)
+        assert "99" in message  # the offending version
+        assert "1, 2" in message  # the supported versions
+        assert "import-map" in message  # the remedy
