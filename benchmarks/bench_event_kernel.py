@@ -1,0 +1,241 @@
+"""Event kernel vs tick loop on a sparse mixed-rate 500-object fleet.
+
+The discrete-event kernel exists for fleets the tick loop handles badly: a
+few densely sampled objects beside hundreds of sparse, phase-shifted ones
+(battery-saving trackers waking every 5-20 s) over a high-latency uplink.
+The tick loop must visit every distinct sighting instant and scan the
+shared channel's in-flight queue at each of them — with hundreds of
+messages in flight on a tens-of-seconds uplink, that scan is the hot loop.
+The event kernel schedules every delivery as an exact-instant agenda entry
+instead, so the queue is never scanned at all.
+
+This benchmark builds one such fleet (1 Hz / 0.2 Hz / 0.05 Hz lanes,
+deterministic per-lane phase shifts, one shared lossy-free channel with a
+long uplink latency), runs it on both kernels, and
+
+* asserts the per-object results (updates, bytes, reasons, every error
+  sample) are **identical** between the kernels — exact delivery changes
+  *when* a message lands inside a tick gap, never what any measurement
+  observes,
+* asserts the tick path exhibits queue-delay quantisation
+  (``max_queue_delay > 0``) while the event path delivers exactly
+  (``== 0``),
+* requires the event kernel to finish the run at least 2x faster, and
+* records everything in ``BENCH_event_kernel.json`` at the repository
+  root.
+
+Tunables for quick local runs / CI smoke: ``REPRO_BENCH_EK_OBJECTS``
+(fleet size, default 500), ``REPRO_BENCH_EK_SCALE`` (route scale of the
+underlying scenario, default 0.12), ``REPRO_BENCH_EK_LATENCY`` (uplink
+latency seconds, default 60) and ``REPRO_BENCH_EK_MIN_SPEEDUP`` (the
+asserted floor, default the full 2x target).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.protocols.reporting import DistanceBasedReporting
+from repro.service.channel import MessageChannel
+from repro.sim.fleet import FleetLane, FleetSimulation
+from repro.sim.runner import ScenarioSpec
+from repro.traces.trace import Trace
+
+_RESULT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_event_kernel.json")
+
+#: The wall-clock advantage the event kernel must deliver on this fleet.
+_REQUIRED_SPEEDUP = 2.0
+
+#: Sighting intervals of the fleet's rate classes (seconds) and the share
+#: of lanes in each class: a sparse fleet — 10% at 1 Hz, 30% at 0.2 Hz,
+#: 60% at 0.05 Hz.
+_RATE_CLASSES = ((1, 0.10), (5, 0.30), (20, 0.60))
+
+#: Requested accuracy of every lane's distance-based protocol (metres).
+_ACCURACY_M = 50.0
+
+
+def _build_lanes(n_objects: int, scale: float):
+    """The mixed-rate fleet: decimated, phase-shifted copies of one city trip.
+
+    Every lane drives the same underlying ``rush_hour_city`` trip but
+    reports on its own sighting grid: rate class by lane index, a stride
+    offset spreading the lanes over the trip, and a deterministic
+    fractional phase shift pushing the sparse lanes off the 1 s grid (the
+    worst case for a tick loop: almost every sighting instant is distinct).
+    """
+    scenario = ScenarioSpec(name="rush_hour_city", scale=scale).build()
+    sensor = scenario.sensor_trace
+    truth = scenario.true_trace
+    lanes = []
+    counts = [int(round(share * n_objects)) for _, share in _RATE_CLASSES]
+    counts[-1] = n_objects - sum(counts[:-1])
+    lane_index = 0
+    for (interval, _share), count in zip(_RATE_CLASSES, counts):
+        for n in range(count):
+            offset = lane_index % interval
+            indices = np.arange(offset, len(sensor), interval)
+            # Golden-ratio phase, quantised to ms, keeps instants distinct
+            # across lanes without ever colliding with the 1 s grid.
+            phase = 0.0
+            if interval > 1:
+                phase = round((lane_index * 0.618034) % 0.9 + 0.05, 3)
+            times = sensor.times[indices] + phase
+            lanes.append(
+                FleetLane(
+                    object_id=f"obj-{lane_index:04d}",
+                    protocol=DistanceBasedReporting(_ACCURACY_M),
+                    sensor_trace=Trace(times, sensor.positions[indices]),
+                    truth_trace=Trace(times, truth.positions[indices]),
+                )
+            )
+            lane_index += 1
+    return lanes
+
+
+def _run(kernel: str, n_objects: int, scale: float, latency: float):
+    """One timed fleet run; returns (seconds, per-object dicts, stats, lanes)."""
+    lanes = _build_lanes(n_objects, scale)
+    channel = MessageChannel(latency=latency)
+    fleet = FleetSimulation(lanes, channel=channel, kernel=kernel)
+    started = time.perf_counter()
+    result = fleet.run()
+    seconds = time.perf_counter() - started
+    rows = {oid: r.as_dict() for oid, r in result.results.items()}
+    errors = {oid: r.metrics.errors for oid, r in result.results.items()}
+    return seconds, rows, errors, result, channel.stats, lanes
+
+
+def compare_kernels(n_objects: int = 500, scale: float = 0.12, latency: float = 60.0):
+    """Time tick vs event kernel on the same fleet; return the record."""
+    tick_s, tick_rows, tick_errors, tick_fleet, tick_stats, lanes = _run(
+        "tick", n_objects, scale, latency
+    )
+    event_s, event_rows, event_errors, event_fleet, event_stats, _ = _run(
+        "event", n_objects, scale, latency
+    )
+
+    identical = tick_rows == event_rows and all(
+        np.array_equal(tick_errors[oid], event_errors[oid]) for oid in tick_rows
+    )
+    speedup = tick_s / event_s if event_s > 0 else None
+    total_samples = sum(len(lane.sensor_trace) for lane in lanes)
+    distinct = len({t for lane in lanes for t in lane.sensor_trace.times.tolist()})
+
+    return {
+        "benchmark": "event_kernel_vs_tick_loop",
+        "objects": n_objects,
+        "scenario": "rush_hour_city",
+        "scale": scale,
+        "rate_classes_s": [interval for interval, _ in _RATE_CLASSES],
+        "rate_shares": [share for _, share in _RATE_CLASSES],
+        "accuracy_m": _ACCURACY_M,
+        "channel_latency_s": latency,
+        "total_samples": total_samples,
+        "distinct_instants": distinct,
+        "messages_sent": tick_stats.messages_sent,
+        "required_speedup": _REQUIRED_SPEEDUP,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "tick_seconds": round(tick_s, 4),
+        "event_seconds": round(event_s, 4),
+        "speedup": round(speedup, 3) if speedup else None,
+        "results_identical": identical,
+        "updates_per_object_hour": round(tick_fleet.updates_per_object_hour, 2),
+        "tick_max_queue_delay_s": round(tick_stats.max_queue_delay, 4),
+        "event_max_queue_delay_s": round(event_stats.max_queue_delay, 4),
+        "stats_identical_modulo_queue_delay": (
+            (
+                tick_stats.messages_sent,
+                tick_stats.messages_delivered,
+                tick_stats.bytes_sent,
+                tick_stats.bytes_delivered,
+                tick_stats.messages_lost,
+            )
+            == (
+                event_stats.messages_sent,
+                event_stats.messages_delivered,
+                event_stats.bytes_sent,
+                event_stats.bytes_delivered,
+                event_stats.messages_lost,
+            )
+        ),
+    }
+
+
+def _print_record(record):
+    print(json.dumps({k: v for k, v in record.items() if k != "machine"}, indent=2))
+
+
+def _write_record(record):
+    with open(_RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(_RESULT_PATH)}")
+
+
+def _assert_record(record):
+    assert record["results_identical"], "event kernel diverged from the tick loop"
+    assert record["stats_identical_modulo_queue_delay"], "channel stats diverged"
+    assert record["event_max_queue_delay_s"] == 0.0, "event delivery is not exact"
+    assert record["tick_max_queue_delay_s"] > 0.0, (
+        "expected tick quantisation on a non-aligned sparse fleet"
+    )
+    floor = _min_speedup()
+    assert record["speedup"] >= floor, (
+        f"speedup {record['speedup']}x is below the {floor}x floor"
+    )
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name, default):
+    return float(os.environ.get(name, default))
+
+
+def _min_speedup() -> float:
+    """The asserted speedup floor (default: the full 2x target)."""
+    return float(os.environ.get("REPRO_BENCH_EK_MIN_SPEEDUP", _REQUIRED_SPEEDUP))
+
+
+def _params():
+    return dict(
+        n_objects=_env_int("REPRO_BENCH_EK_OBJECTS", 500),
+        scale=_env_float("REPRO_BENCH_EK_SCALE", 0.12),
+        latency=_env_float("REPRO_BENCH_EK_LATENCY", 60.0),
+    )
+
+
+def test_event_kernel_speedup(benchmark):
+    from conftest import run_once
+
+    record = run_once(benchmark, compare_kernels, **_params())
+    print()
+    _print_record(record)
+    _write_record(record)
+    _assert_record(record)
+
+
+def test_kernels_identical_small():
+    """Tiny cross-check runnable without the benchmark harness."""
+    record = compare_kernels(n_objects=20, scale=0.05, latency=17.0)
+    assert record["results_identical"]
+    assert record["stats_identical_modulo_queue_delay"]
+    assert record["event_max_queue_delay_s"] == 0.0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual / CI smoke entry point
+    record = compare_kernels(**_params())
+    _print_record(record)
+    _write_record(record)
+    _assert_record(record)

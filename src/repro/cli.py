@@ -9,9 +9,12 @@ writing any Python::
     repro scenarios
     repro sweep --scenario rush_hour_city --protocol map --scale 0.25 --out-dir artifacts
     repro simulate --scenario city --protocol map --accuracy 100 --scale 0.2
+    repro simulate --scenario low_power_tracker --protocol linear --accuracy 100 --kernel event
     repro fleet --mix rush_hour_city:map:100:25 --mix walking:linear:50:10 --scale 0.1
+    repro fleet --mix rush_hour_city:linear:100:20 --mix mixed_rate_city:linear:100:80 --kernel event --scale 0.1
     repro fleet --mix city:linear:100:50 --shards 4 --scale 0.1
     repro query-bench --scenario rush_hour_city --count 50 --shards 4 --scale 0.1
+    repro query-bench --scenario poisson_queries_freeway --kernel event --scale 0.1
     repro generate-map city --out city.json
     repro generate-trace --scenario walking --out walk.csv --noisy
     repro visualize --scenario freeway --accuracy 200 --scale 0.1
@@ -32,6 +35,13 @@ output can be diffed against the paper's numbers or piped into other tools.
 Sweep-shaped commands execute on the shared
 :class:`~repro.sim.runner.SweepRunner`; ``--jobs N`` fans their points out
 over N worker processes, with results guaranteed identical to a serial run.
+``simulate``/``fleet``/``sweep``/``query-bench`` accept ``--kernel
+{tick,event}`` to pick the simulation kernel (see the README's "Simulation
+kernel" section); the default tick loop and the event kernel are
+bit-identical for uniform sampling, tick-aligned latency and on-grid (or
+absent) protocol timer deadlines — off-grid timers (the ``time``
+protocol's usual case) fire at exact instants under the event kernel
+instead of being polled.
 """
 
 from __future__ import annotations
@@ -140,6 +150,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="parallel worker processes for the sweep points (default 1)",
         )
 
+    def add_kernel(p: argparse.ArgumentParser) -> None:
+        from repro.sim.kernel import KERNELS
+
+        p.add_argument(
+            "--kernel", choices=list(KERNELS), default="tick",
+            help="simulation kernel: the classic time-stepped loop (tick) or "
+                 "the discrete-event scheduler (event); bit-identical for "
+                 "uniform sampling, tick-aligned latency and on-grid timer "
+                 "deadlines, the event kernel adds exact channel delivery and "
+                 "timer instants (the 'time' protocol's off-grid deadlines "
+                 "fire exactly instead of being polled), Poisson query "
+                 "arrivals and fast sparse mixed-rate fleets (default tick)",
+        )
+
     p_table = subparsers.add_parser("table1", help="reproduce Table 1")
     add_scale(p_table)
 
@@ -185,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scale(p_sweep)
     add_jobs(p_sweep)
+    add_kernel(p_sweep)
 
     p_ablation = subparsers.add_parser("ablation", help="run one of the ablation studies")
     p_ablation.add_argument(
@@ -200,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--protocol", choices=list(PROTOCOL_IDS), required=True)
     p_sim.add_argument("--accuracy", type=float, required=True, help="requested accuracy us [m]")
     add_scale(p_sim)
+    add_kernel(p_sim)
 
     subparsers.add_parser(
         "scenarios", help="list every scenario in the library (canonical + generated)"
@@ -225,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_map_file(p_fleet)
     add_scale(p_fleet)
+    add_kernel(p_fleet)
 
     p_qbench = subparsers.add_parser(
         "query-bench",
@@ -246,10 +273,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_qbench.add_argument("--k", type=_positive_int, default=3, help="k for k-nearest queries")
     p_qbench.add_argument("--seed", type=int, default=None, help="scenario seed override")
     p_qbench.add_argument(
+        "--arrival-rate", type=float, default=None, metavar="PER_S",
+        help="Poisson query-arrival rate in queries per simulated second "
+             "(event kernel only; default: the scenario's query_rate_per_s, "
+             "falling back to per-tick arrivals)",
+    )
+    p_qbench.add_argument(
         "--out-dir", type=str, default=None,
         help="directory for the JSON artifact (default: print only)",
     )
     add_scale(p_qbench)
+    add_kernel(p_qbench)
 
     p_import = subparsers.add_parser(
         "import-map",
@@ -386,7 +420,9 @@ def _cmd_sweep(args) -> int:
 
 
 def _run_sweep_command(args, runner: SweepRunner, spec: ScenarioSpec) -> int:
-    points = runner.run_config_sweep(spec, args.protocol, args.accuracies)
+    points = runner.run_config_sweep(
+        spec, args.protocol, args.accuracies, kernel=args.kernel
+    )
     rows = [point.result.as_dict() for point in points]
     _emit(args, rows, f"{args.protocol} sweep on {args.scenario} (scale {args.scale:g})")
     if args.out_dir:
@@ -401,6 +437,7 @@ def _run_sweep_command(args, runner: SweepRunner, spec: ScenarioSpec) -> int:
                 "scale": args.scale,
                 "seed": spec.seed,
                 "jobs": args.jobs,
+                "kernel": args.kernel,
             },
         )
         for fmt, path in written.items():
@@ -430,7 +467,7 @@ def _cmd_simulate(args) -> int:
     protocol = SimulationConfig(
         protocol_id=args.protocol, accuracy=args.accuracy
     ).build_protocol(scenario)
-    result = SweepRunner().run_single(scenario, protocol)
+    result = SweepRunner().run_single(scenario, protocol, kernel=args.kernel)
     _emit(args, [result.as_dict()], f"{args.protocol} on {args.scenario} (us={args.accuracy:g} m)")
     return 0
 
@@ -470,8 +507,10 @@ def _cmd_fleet(args) -> int:
             n_shards=args.shards,
             region_size=auto_region_size(lanes, args.shards),
         )
-    fleet = FleetSimulation(lanes, server=server).run()
+    fleet = FleetSimulation(lanes, server=server, kernel=args.kernel).run()
     title = f"Fleet of {len(lanes)} objects (scale {args.scale:g})"
+    if args.kernel != "tick":
+        title += f", {args.kernel} kernel"
     if args.shards > 1:
         title += f", {args.shards} shards"
     if args.per_object:
@@ -515,6 +554,8 @@ def _cmd_query_bench(args) -> int:
             queries_per_tick=args.queries_per_tick,
             mix=mix,
             k=args.k,
+            kernel=args.kernel,
+            arrival_rate_per_s=args.arrival_rate,
         )
         # Surface workload validation (unknown kinds, negative rates) as a
         # clean CLI error instead of a traceback mid-run.

@@ -81,6 +81,10 @@ class ScenarioEntry:
         ``geofence`` weights) replayed by ``repro query-bench`` for this
         scenario.  When absent, :func:`repro.sim.workload.default_query_mix`
         derives one from the topology knob.
+    query_rate_per_s:
+        Optional default Poisson query-arrival rate (queries per simulated
+        second) for event-kernel workload replays; ``None`` keeps the
+        per-tick workload model.
     """
 
     name: str
@@ -90,6 +94,7 @@ class ScenarioEntry:
     builder: Callable[[int, float], Scenario]
     knobs: Mapping[str, object] = field(default_factory=dict)
     query_mix: Optional[Mapping[str, float]] = None
+    query_rate_per_s: Optional[float] = None
 
 
 _REGISTRY: Dict[str, ScenarioEntry] = {}
@@ -167,6 +172,15 @@ QUERY_MIXES: Dict[str, Mapping[str, float]] = {
     "delivery_rounds": {"range": 0.5, "nearest": 3.0, "geofence": 1.0},
     "campus_courier": {"range": 0.5, "nearest": 1.0, "geofence": 3.0},
     "rush_hour_city": {"range": 0.5, "nearest": 3.0, "geofence": 1.0},
+    "poisson_queries_freeway": {"range": 3.0, "nearest": 1.0, "geofence": 0.5},
+}
+
+#: Default Poisson query-arrival rates (queries per simulated second) for
+#: scenarios modelling a live service under independent request traffic;
+#: honoured by event-kernel workload replays (``repro query-bench --kernel
+#: event``).
+QUERY_RATES: Dict[str, float] = {
+    "poisson_queries_freeway": 0.5,
 }
 
 
@@ -221,6 +235,7 @@ def register_generated(spec: GeneratorSpec) -> GeneratorSpec:
             builder=lambda seed, scale, _s=spec: generate_scenario(_s, seed=seed, scale=scale),
             knobs=spec.knobs,
             query_mix=QUERY_MIXES.get(spec.name),
+            query_rate_per_s=QUERY_RATES.get(spec.name),
         )
     )
     GENERATED_SPECS[spec.name] = spec
@@ -336,6 +351,47 @@ register_generated(GeneratorSpec(
     default_seed=111,
     us_values=tuple(WALK_US_SWEEP),
     matching_tolerance=20.0,
+))
+# Event-kernel scenarios: heterogeneous sighting rates and Poisson query
+# arrivals (the workloads the discrete-event schedule exists for).
+register_generated(GeneratorSpec(
+    name="mixed_rate_city",
+    description=(
+        "city car reporting one fix every 5 s (0.2 Hz) — the low-rate side "
+        "of a 1 Hz / 0.2 Hz mixed-rate fleet (pair its lanes with "
+        "rush_hour_city for the split)"
+    ),
+    topology=Topology(kind="grid", rows=12, cols=12, spacing_m=240.0),
+    regime=SIGNALIZED,
+    agent=AgentSpec(
+        kind="car", route_style="wander", straight_bias=0.7, sample_interval=5.0
+    ),
+    route_length_m=18_000.0,
+    default_seed=112,
+))
+register_generated(GeneratorSpec(
+    name="poisson_queries_freeway",
+    description=(
+        "freeway drive serving a Poisson application-query stream "
+        "(0.5 queries/s; exact arrival instants need --kernel event)"
+    ),
+    topology=Topology(kind="corridor", length_km=50.0),
+    regime=FREE_FLOW,
+    agent=AgentSpec(kind="car", route_style="corridor", estimation_window=2),
+    route_length_m=45_000.0,
+    default_seed=113,
+))
+register_generated(GeneratorSpec(
+    name="low_power_tracker",
+    description=(
+        "battery-saving asset tracker waking every 20 s (0.05 Hz) on a "
+        "long-haul inter-urban trunk road"
+    ),
+    topology=Topology(kind="interurban", n_towns=12, town_spacing_km=16.0),
+    regime=FREE_FLOW,
+    agent=AgentSpec(kind="car", route_style="corridor", sample_interval=20.0),
+    route_length_m=170_000.0,
+    default_seed=114,
 ))
 
 

@@ -342,6 +342,15 @@ class AgentSpec:
         For ``delivery``: ``(min, max)`` dwell at each drop-off in seconds.
     estimation_window:
         Speed/heading estimation window handed to the protocols.
+    sample_interval:
+        Seconds between sensor sightings — the positioning receiver's duty
+        cycle, e.g. ``20.0`` for a battery-saving 0.05 Hz tracker.  The
+        object's movement is always simulated at the native 1 s step; the
+        sighting stream (sensor *and* paired ground truth) is decimated to
+        this interval afterwards, so a sparse tracker moves exactly like a
+        densely sampled one and merely reports less often.  Must be a
+        positive multiple of the 1 s mobility step; the default ``1.0``
+        keeps every sample.
     """
 
     kind: str = "car"
@@ -350,6 +359,7 @@ class AgentSpec:
     n_stops: int = 8
     dwell_range: Tuple[float, float] = (60.0, 240.0)
     estimation_window: int = 4
+    sample_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.kind not in AGENT_KINDS:
@@ -362,6 +372,8 @@ class AgentSpec:
             raise ValueError("straight_bias must be in [0, 1]")
         if self.n_stops < 1:
             raise ValueError("n_stops must be at least 1")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
 
 
 # --------------------------------------------------------------------------- #
@@ -473,6 +485,80 @@ class Degradation:
 
 
 # --------------------------------------------------------------------------- #
+# sighting-rate decimation
+# --------------------------------------------------------------------------- #
+def _sighting_stride(times: np.ndarray, interval: float) -> int:
+    """The index stride realising *interval* on the trace's sighting grid.
+
+    The interval must be a (near-exact) positive multiple of the trace's
+    base step — decimation keeps every k-th sighting, it does not
+    interpolate new instants.
+    """
+    if interval <= 0:
+        raise ValueError("sample_interval must be positive")
+    if len(times) < 2:
+        return 1
+    diffs = np.diff(times)
+    base = float(np.median(diffs))
+    stride = interval / base
+    k = int(round(stride))
+    if k < 1 or abs(stride - k) > 1e-9:
+        raise ValueError(
+            f"sample_interval {interval:g} s is not a multiple of the trace's "
+            f"{base:g} s sighting step"
+        )
+    return k
+
+
+def decimate_sightings(
+    sensor: Trace, journey: SimulatedJourney, interval: float
+) -> Tuple[Trace, SimulatedJourney]:
+    """Thin the sighting stream to one fix every *interval* seconds.
+
+    Keeps every k-th sighting (via :func:`repro.traces.resample.decimate`)
+    of the sensor trace and the paired ground truth — positions *and* link
+    ids, always including the first sample, exactly the bookkeeping
+    :class:`Degradation` uses for dropout windows.  A stride of 1 returns
+    the inputs unchanged (bit-identical scenarios for the default
+    interval).
+    """
+    from repro.traces.resample import decimate
+
+    k = _sighting_stride(sensor.times, interval)
+    if k == 1:
+        return sensor, journey
+    thin_sensor = decimate(sensor, k)
+    thin_truth = decimate(journey.trace, k)
+    link_ids = journey.link_ids[::k]
+    thin_journey = SimulatedJourney(
+        trace=thin_truth,
+        link_ids=link_ids,
+        route=journey.route,
+        stop_count=journey.stop_count,
+    )
+    return thin_sensor, thin_journey
+
+
+def resample_scenario(scenario: Scenario, sample_interval: float) -> Scenario:
+    """A copy of *scenario* with its sighting stream decimated.
+
+    The post-build counterpart of :attr:`AgentSpec.sample_interval`, used
+    by :class:`~repro.sim.runner.ScenarioSpec` to derive a low-rate variant
+    of *any* library scenario (canonical ones included) without touching
+    its recipe.  Roadmap, route and metadata are shared by reference; only
+    the traces are replaced.
+    """
+    from dataclasses import replace
+
+    sensor, journey = decimate_sightings(
+        scenario.sensor_trace, scenario.journey, sample_interval
+    )
+    if sensor is scenario.sensor_trace:
+        return scenario
+    return replace(scenario, sensor_trace=sensor, journey=journey)
+
+
+# --------------------------------------------------------------------------- #
 # the composed spec
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -513,6 +599,8 @@ class GeneratorSpec:
         }
         if self.agent.kind == "delivery":
             out["delivery_stops"] = self.agent.n_stops
+        if self.agent.sample_interval != 1.0:
+            out["sample_interval_s"] = self.agent.sample_interval
         if self.degradation.dropout_windows:
             out["dropout"] = (
                 f"{self.degradation.dropout_windows}x windows, "
@@ -676,6 +764,9 @@ def generate_scenario(
         seed=seed + 1000,
     )
     sensor = noise.apply(journey.trace)
+    # Sensor duty cycle: movement and noise stay at the native 1 s step,
+    # the sighting stream is thinned afterwards (no-op at the default).
+    sensor, journey = decimate_sightings(sensor, journey, spec.agent.sample_interval)
     sensor, journey = spec.degradation.apply(sensor, journey, seed=seed + 2000)
 
     return Scenario(

@@ -167,6 +167,16 @@ class DisconnectionDetectionDeadReckoning(_LinearPredictionThresholdProtocol):
         ``floor_fraction`` of its initial value (linear decay).
     floor_fraction:
         Lower bound on the threshold, as a fraction of the initial value.
+    disconnect_timeout:
+        Silence (seconds since the last update) after which the tracker
+        declares a probable disconnection — the point of the decaying
+        threshold: a *connected* source moving as predicted would still be
+        under the decayed threshold, so a silence this long means the link
+        is gone.  Declarations are recorded on
+        :attr:`disconnection_times`.  Under the event kernel the timer
+        fires at exactly ``last_update + disconnect_timeout``; under the
+        tick loop the condition is polled and detected at the first
+        sighting past the timeout.  ``None`` disables detection.
     """
 
     name = "disconnection-detection dead reckoning (dtdr)"
@@ -176,6 +186,7 @@ class DisconnectionDetectionDeadReckoning(_LinearPredictionThresholdProtocol):
         initial_threshold: float,
         decay_time: float = 300.0,
         floor_fraction: float = 0.2,
+        disconnect_timeout: Optional[float] = None,
         sensor_uncertainty: float = 0.0,
         estimation_window: int = 4,
     ):
@@ -184,8 +195,15 @@ class DisconnectionDetectionDeadReckoning(_LinearPredictionThresholdProtocol):
             raise ValueError("decay_time must be positive")
         if not (0.0 < floor_fraction <= 1.0):
             raise ValueError("floor_fraction must be in (0, 1]")
+        if disconnect_timeout is not None and disconnect_timeout <= 0:
+            raise ValueError("disconnect_timeout must be positive")
         self.decay_time = float(decay_time)
         self.floor_fraction = float(floor_fraction)
+        self.disconnect_timeout = (
+            float(disconnect_timeout) if disconnect_timeout is not None else None
+        )
+        self._disconnected = False
+        self._disconnection_times: list = []
 
     def current_threshold(self, time: float) -> float:
         if self.last_reported is None:
@@ -193,3 +211,57 @@ class DisconnectionDetectionDeadReckoning(_LinearPredictionThresholdProtocol):
         elapsed = max(0.0, time - self.last_reported.time)
         fraction = max(self.floor_fraction, 1.0 - elapsed / self.decay_time)
         return self.accuracy * fraction
+
+    # ------------------------------------------------------------------ #
+    # disconnection detection
+    # ------------------------------------------------------------------ #
+    @property
+    def disconnection_times(self) -> list:
+        """Instants at which a probable disconnection was declared."""
+        return list(self._disconnection_times)
+
+    @property
+    def disconnected(self) -> bool:
+        """Whether the tracker currently believes the link is down."""
+        return self._disconnected
+
+    def _declare_disconnection(self, time: float) -> None:
+        self._disconnected = True
+        self._disconnection_times.append(float(time))
+
+    def next_deadline(self) -> Optional[float]:
+        """The exact instant at which silence becomes a disconnection."""
+        if (
+            self.disconnect_timeout is None
+            or self._disconnected
+            or self.last_reported is None
+        ):
+            return None
+        return self.last_reported.time + self.disconnect_timeout
+
+    def on_timer(self, time: float):
+        """Declare the disconnection at the exact timeout (event kernel)."""
+        deadline = self.next_deadline()
+        if deadline is not None and time >= deadline:
+            self._declare_disconnection(time)
+        return None
+
+    def _pre_decision_hook(
+        self, time: float, position: np.ndarray, velocity: np.ndarray, speed: float
+    ) -> None:
+        # Tick-loop (polled) detection: declared at the first sighting past
+        # the timeout rather than at the exact instant.
+        deadline = self.next_deadline()
+        if deadline is not None and time >= deadline:
+            self._declare_disconnection(time)
+
+    def _post_update_hook(self, message) -> None:
+        # Any transmitted update proves the link is up again.
+        self._disconnected = False
+
+    def reset(self) -> None:
+        super().reset()
+        self._disconnected = False
+        # Rebinding (not clearing) also detaches a clone_for copy from the
+        # prototype's list, so no _detach_clone_state override is needed.
+        self._disconnection_times = []

@@ -216,6 +216,18 @@ class UpdateProtocol(abc.ABC):
             reason = self._should_update(time, p, velocity, speed)
         if reason is None:
             return None
+        return self._emit_update(time, p, velocity, speed, reason)
+
+    def _emit_update(
+        self,
+        time: float,
+        p: np.ndarray,
+        velocity: np.ndarray,
+        speed: float,
+        reason: UpdateReason,
+    ) -> UpdateMessage:
+        """Build, account and record one update message (shared by the
+        sighting path and the timer path)."""
         state = self._build_state(time, p, velocity, speed)
         message = UpdateMessage(sequence=self._sequence, state=state, reason=reason)
         self._sequence += 1
@@ -224,6 +236,37 @@ class UpdateProtocol(abc.ABC):
         self._last_reported = state
         self._post_update_hook(message)
         return message
+
+    # ------------------------------------------------------------------ #
+    # event-kernel timer hooks
+    # ------------------------------------------------------------------ #
+    def next_deadline(self) -> Optional[float]:
+        """The next instant at which this protocol's timer must fire.
+
+        Protocols whose trigger involves wall-clock time (periodic
+        reporting, disconnection timeouts) return the exact deadline; the
+        event kernel schedules a timer event there and calls
+        :meth:`on_timer` when it expires, so the protocol acts at the exact
+        instant instead of at the first sighting that happens to be polled
+        afterwards.  ``None`` (the default) means no timer is pending —
+        the tick loop never consults these hooks and keeps polling.
+        """
+        return None
+
+    def on_timer(self, time: float) -> Optional[UpdateMessage]:
+        """Handle a timer expiry at exactly *time*.
+
+        Returns an update message to transmit, or ``None``.  Called only by
+        the event kernel, and only for deadlines announced via
+        :meth:`next_deadline`; implementations must tolerate stale fires
+        (a sighting processed at the same instant may already have serviced
+        the deadline) by re-checking their trigger condition.  An
+        implementation that declines a fire while leaving
+        :meth:`next_deadline` unchanged is not re-fired at that instant
+        (the kernel guards against spinning); that deadline value is
+        treated as spent until the protocol moves it.
+        """
+        return None
 
     def _pre_decision_hook(
         self, time: float, position: np.ndarray, velocity: np.ndarray, speed: float

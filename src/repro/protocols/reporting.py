@@ -77,6 +77,9 @@ class TimeBasedReporting(UpdateProtocol):
             raise ValueError("interval must be positive")
         self.interval = float(interval)
         self._prediction = StaticPrediction()
+        # The most recent sighting, replayed by timer-fired reports (only
+        # this protocol pays the bookkeeping; see _pre_decision_hook).
+        self._last_seen: Optional[tuple] = None
 
     @classmethod
     def for_speed(
@@ -121,6 +124,49 @@ class TimeBasedReporting(UpdateProtocol):
         if time - self.last_reported.time >= self.interval:
             return UpdateReason.TIMER
         return None
+
+    def _pre_decision_hook(
+        self, time: float, position: np.ndarray, velocity: np.ndarray, speed: float
+    ) -> None:
+        self._last_seen = (time, position, velocity, speed)
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_seen = None
+
+    # ------------------------------------------------------------------ #
+    # event-kernel timer contract
+    # ------------------------------------------------------------------ #
+    def next_deadline(self) -> Optional[float]:
+        """The exact instant of the next periodic report.
+
+        Under the event kernel the report fires at exactly
+        ``t0 + k * interval`` (``t0`` being the initial report), carrying
+        the most recent sighting's state; under the tick loop the protocol
+        is polled and reports at the first sighting past the deadline.
+        """
+        if self.last_reported is None:
+            return None
+        return self.last_reported.time + self.interval
+
+    def on_timer(self, time: float):
+        """Emit the periodic report at the exact deadline.
+
+        Stale fires (a sighting at the same instant already reported, so
+        the deadline moved) are ignored.  The staleness check compares
+        against :meth:`next_deadline` itself — the very float the kernel
+        scheduled — never against a re-derived ``time - last`` difference,
+        which rounds differently for non-representable intervals (e.g. any
+        :meth:`for_speed` ratio) and would reject the legitimate fire
+        forever.  The transmitted state holds the last observed position —
+        the server performs no prediction for this protocol, so holding is
+        exactly what reporting does.
+        """
+        deadline = self.next_deadline()
+        if deadline is None or self._last_seen is None or time < deadline:
+            return None
+        _, position, velocity, speed = self._last_seen
+        return self._emit_update(time, position, velocity, speed, UpdateReason.TIMER)
 
 
 class MovementBasedReporting(UpdateProtocol):

@@ -5,15 +5,43 @@ WAN bandwidth; the channel model here accounts for every transmitted message
 and byte so the evaluation can report bandwidth alongside update counts, and
 it can add latency and losses for robustness experiments (losses model the
 disconnections Wolfson's dtdr strategy addresses).
+
+The channel supports both simulation kernels:
+
+* Under the **tick** loop, messages queue in an in-flight list and
+  :meth:`MessageChannel.deliver_due` pops everything whose delivery time
+  has been reached — i.e. a message sent at ``t`` with latency ``L`` is
+  delivered at the first tick ``>= t + L``.  This tick-quantised behaviour
+  is deliberately unchanged; the quantisation it introduces is measured by
+  :attr:`ChannelStats.max_queue_delay` (the worst observed gap between a
+  message's nominal delivery instant and the tick that actually delivered
+  it — exactly ``0`` when latency is a tick multiple).
+* Under the **event** kernel, a delivery *scheduler* is bound via
+  :meth:`MessageChannel.bind_scheduler`; ``send`` then hands every message
+  straight to the kernel as a delivery event at exactly ``t + L``, so
+  latency is exact and ``max_queue_delay`` stays ``0``.
+
+Losses are drawn **per message**, keyed by ``(seed, object_id, sequence)``
+rather than by consuming a shared RNG stream in send order.  Send
+interleaving differs between the tick and event kernels (and between fleet
+compositions), so a stream-ordered draw would make the loss pattern an
+artifact of the scheduler; the keyed draw gives bit-identical loss
+sequences for the same seed on either kernel.  Unseeded channels keep the
+legacy stream draw (they are non-reproducible by construction).
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.protocols.base import UpdateMessage
+
+#: Signature of the event-kernel delivery hook bound by the fleet loop:
+#: ``scheduler(deliver_at, object_id, message)``.
+DeliveryScheduler = Callable[[float, str, UpdateMessage], None]
 
 
 @dataclass
@@ -25,6 +53,12 @@ class ChannelStats:
     messages_lost: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    #: Worst observed queueing delay in seconds: how long a message sat in
+    #: the in-flight queue *past* its nominal delivery instant
+    #: ``send_time + latency`` before a tick picked it up.  Exactly ``0``
+    #: under the event kernel (delivery events fire at the exact instant)
+    #: and whenever latency is a tick multiple.
+    max_queue_delay: float = 0.0
 
     @property
     def loss_rate(self) -> float:
@@ -44,7 +78,10 @@ class MessageChannel:
     loss_probability:
         Probability that a message is silently dropped.
     seed:
-        Seed for the loss process.
+        Seed for the loss process.  Seeded channels draw each message's
+        loss independently from ``(seed, object_id, sequence)``, so the
+        loss pattern is identical on both simulation kernels and across
+        repeated runs; unseeded channels draw from a process-random stream.
     """
 
     def __init__(
@@ -56,9 +93,29 @@ class MessageChannel:
             raise ValueError("loss_probability must be in [0, 1)")
         self.latency = float(latency)
         self.loss_probability = float(loss_probability)
+        self._seed = seed
         self._rng = random.Random(seed)
         self.stats = ChannelStats()
         self._in_flight: List[Tuple[float, str, UpdateMessage]] = []
+        self._scheduler: Optional[DeliveryScheduler] = None
+
+    # ------------------------------------------------------------------ #
+    # event-kernel binding
+    # ------------------------------------------------------------------ #
+    def bind_scheduler(self, scheduler: DeliveryScheduler) -> None:
+        """Route subsequent sends to *scheduler* as exact delivery events.
+
+        Bound by the event kernel for the duration of a run; while bound,
+        nothing enters the in-flight queue.  A channel can serve one kernel
+        at a time.
+        """
+        if self._scheduler is not None:
+            raise RuntimeError("channel is already bound to a delivery scheduler")
+        self._scheduler = scheduler
+
+    def unbind_scheduler(self) -> None:
+        """Detach the event-kernel delivery hook (back to tick queueing)."""
+        self._scheduler = None
 
     # ------------------------------------------------------------------ #
     # sending and delivering
@@ -67,13 +124,37 @@ class MessageChannel:
         """Submit a message for delivery at ``time + latency`` (unless lost)."""
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.size_bytes
-        if self.loss_probability > 0.0 and self._rng.random() < self.loss_probability:
+        if self.loss_probability > 0.0 and self._is_lost(object_id, message):
             self.stats.messages_lost += 1
             return
-        self._in_flight.append((time + self.latency, object_id, message))
+        if self._scheduler is not None:
+            self._scheduler(time + self.latency, object_id, message)
+        else:
+            self._in_flight.append((time + self.latency, object_id, message))
+
+    def _is_lost(self, object_id: str, message: UpdateMessage) -> bool:
+        """Decide this message's fate (see the module docstring).
+
+        The keyed draw hashes the key through BLAKE2b — a proper PRF, so
+        consecutive sequence numbers give serially *uncorrelated* Bernoulli
+        draws (a CRC would correlate neighbouring keys, clustering losses),
+        and the digest is stable across processes (unlike ``hash()`` of a
+        string under ``PYTHONHASHSEED``).
+        """
+        if self._seed is None:
+            return self._rng.random() < self.loss_probability
+        key = f"{self._seed}|{object_id}|{message.sequence}".encode()
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        draw = int.from_bytes(digest, "big") / 2.0**64  # uniform in [0, 1)
+        return draw < self.loss_probability
 
     def deliver_due(self, time: float) -> List[Tuple[str, UpdateMessage]]:
-        """Pop every message whose delivery time has been reached."""
+        """Pop every message whose delivery time has been reached.
+
+        This is the tick path: a message becomes visible at the first tick
+        at or after its nominal delivery instant (unchanged behaviour); the
+        quantisation gap is recorded on :attr:`ChannelStats.max_queue_delay`.
+        """
         if not self._in_flight:
             return []
         due = [entry for entry in self._in_flight if entry[0] <= time]
@@ -81,21 +162,39 @@ class MessageChannel:
             self._in_flight = [entry for entry in self._in_flight if entry[0] > time]
             self.stats.messages_delivered += len(due)
             self.stats.bytes_delivered += sum(m.size_bytes for _, _, m in due)
+            worst = max(time - deliver_at for deliver_at, _, _ in due)
+            if worst > self.stats.max_queue_delay:
+                self.stats.max_queue_delay = worst
         return [(object_id, message) for _, object_id, message in sorted(due)]
+
+    def record_scheduled_delivery(self, messages: List[Tuple[str, UpdateMessage]]) -> None:
+        """Account for messages the event kernel just delivered exactly.
+
+        The event path's counterpart of the accounting inside
+        :meth:`deliver_due`: delivery happens at the exact nominal instant,
+        so the queueing delay is zero by construction.
+        """
+        if not messages:
+            return
+        self.stats.messages_delivered += len(messages)
+        self.stats.bytes_delivered += sum(m.size_bytes for _, m in messages)
 
     def reset(self) -> None:
         """Drop all in-flight messages and zero the statistics.
 
         Simulations call this at run start so that a caller-supplied channel
         cannot leak undelivered messages (or counters) from a previous run
-        into the next one.  The loss process RNG is deliberately left alone:
-        resetting it would make repeated runs over the same channel replay
-        the identical loss pattern instead of independent ones.
+        into the next one.  Seeded channels draw losses per message (keyed
+        by object and sequence number), so repeated runs over one channel
+        replay the same loss pattern — that is the reproducibility contract.
+        The unseeded stream RNG is deliberately left alone: resetting it
+        would turn independent runs into replays.
         """
         self._in_flight.clear()
         self.stats = ChannelStats()
 
     @property
     def in_flight(self) -> int:
-        """Number of messages currently in transit."""
+        """Number of messages currently in transit (tick path only; the
+        event kernel keeps pending deliveries on its own agenda)."""
         return len(self._in_flight)

@@ -248,6 +248,25 @@ class LocationService:
         self.loads[target].handoffs_in += 1
         self._dirty = True
 
+    def rebalance(self, time: float) -> int:
+        """Hand off every object whose prediction drifted across a boundary.
+
+        Pure placement maintenance for the event kernel's periodic
+        ``HANDOFF`` events: between updates an object's *predicted*
+        position keeps moving, so a long-silent object can drift out of its
+        home shard's region; this sweeps every record to its spatial home
+        at *time*.  Unlike :meth:`prepare` it does not touch the query
+        engines.  Returns the number of handoffs performed.  Handoffs move
+        records wholesale, so query answers and simulation results are
+        unaffected — only the per-shard placement counters change.
+        """
+        if self.n_shards <= 1:
+            return 0
+        before = sum(load.handoffs_in for load in self.loads)
+        for object_id in list(self._records):
+            self._rehome(object_id, time)
+        return sum(load.handoffs_in for load in self.loads) - before
+
     # ------------------------------------------------------------------ #
     # query engine maintenance
     # ------------------------------------------------------------------ #

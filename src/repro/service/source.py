@@ -63,6 +63,19 @@ class LocationSource:
             self._sent_messages.append(message)
         return message
 
+    def process_timer(self, time: float) -> Optional[UpdateMessage]:
+        """Fire the protocol's timer at exactly *time* (event kernel).
+
+        Any update the protocol emits (a periodic report, a keepalive) is
+        transmitted like a sighting-triggered one.  Stale fires return
+        ``None`` and transmit nothing.
+        """
+        message = self.protocol.on_timer(time)
+        if message is not None:
+            self.channel.send(self.object_id, message, time)
+            self._sent_messages.append(message)
+        return message
+
     @property
     def sent_messages(self) -> List[UpdateMessage]:
         """Every update transmitted so far (in order)."""

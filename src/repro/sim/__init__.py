@@ -12,10 +12,17 @@ execution core:
 
 ``engine`` → ``fleet`` → ``runner``
 
+* :mod:`repro.sim.kernel` is the deterministic discrete-event scheduler —
+  a binary-heap agenda ordered by ``(time, priority, seq)`` with event
+  kinds for sensor samples, protocol timers, channel deliveries, shard
+  handoffs and workload query arrivals.
 * :mod:`repro.sim.fleet` is the core: :class:`FleetSimulation` steps any
-  number of (object, protocol, trace) lanes through one time-ordered loop
-  against a single :class:`~repro.service.server.LocationServer`, with
-  vectorised speed/heading estimation and batched server queries.
+  number of (object, protocol, trace) lanes — on the classic tick loop or
+  on the event kernel (``kernel="event"``), bit-identical in the
+  degenerate case (uniform rates, tick-aligned latency, on-grid or no
+  timer deadlines) — against a single
+  :class:`~repro.service.server.LocationServer`, with vectorised
+  speed/heading estimation and batched server queries.
 * :mod:`repro.sim.engine` keeps the classic single-object API:
   :class:`ProtocolSimulation` is a one-lane façade over the fleet core, so
   single runs and fleet runs are the same machinery by construction.
@@ -30,6 +37,7 @@ execution core:
 serialisable :class:`SimulationConfig` values.
 """
 
+from repro.sim.kernel import KERNELS, EventKernel, validate_kernel
 from repro.sim.metrics import AccuracyMetrics, SimulationResult
 from repro.sim.engine import ProtocolSimulation, run_simulation
 from repro.sim.fleet import FleetLane, FleetResult, FleetSimulation, run_fleet
@@ -50,6 +58,9 @@ from repro.sim.workload import (
 )
 
 __all__ = [
+    "KERNELS",
+    "EventKernel",
+    "validate_kernel",
     "QueryBenchSpec",
     "QueryWorkload",
     "WorkloadExecutor",

@@ -23,6 +23,21 @@ Design properties the rest of the stack relies on:
   :meth:`~repro.service.server.LocationServer.predict_positions` API once
   per timestep, and error samples are accumulated into
   :class:`~repro.sim.metrics.AccuracyMetrics` as one array per lane.
+* **Two kernels, one semantics** — the fleet runs either on the classic
+  time-stepped loop (``kernel="tick"``) or on the discrete-event scheduler
+  of :mod:`repro.sim.kernel` (``kernel="event"``).  The tick loop is the
+  degenerate schedule of the event kernel: when every lane shares the tick
+  rate, channel latency is a tick multiple, and no protocol timer fires
+  off the sampling grid (threshold protocols announce no timers; periodic
+  reporting stays on-grid when its interval is a tick multiple), both
+  produce bit-identical updates, metrics and service statistics (asserted
+  by the test-suite over the whole scenario library).  Off-grid timer
+  deadlines are the event kernel's *intended* divergence: a periodic
+  report fires at exactly ``t0 + k·interval`` instead of at the next
+  polled sighting.  The event kernel additionally delivers channel
+  messages at their exact instants, supports Poisson query arrivals, and
+  skips the per-tick queue scans — which is what makes sparse mixed-rate
+  fleets cheap.
 """
 
 from __future__ import annotations
@@ -38,6 +53,15 @@ from repro.protocols.base import UpdateProtocol
 from repro.service.channel import MessageChannel
 from repro.service.server import LocationServer
 from repro.service.source import LocationSource
+from repro.sim.kernel import (
+    DELIVERY,
+    HANDOFF,
+    QUERY,
+    SAMPLE,
+    TIMER,
+    EventKernel,
+    validate_kernel,
+)
 from repro.sim.metrics import AccuracyMetrics, SimulationResult
 from repro.sim.workload import QueryWorkload, WorkloadExecutor, WorkloadReport
 from repro.traces.estimation import estimate_trace
@@ -166,6 +190,17 @@ class _LaneState:
             key = message.reason.value
             self.reasons[key] = self.reasons.get(key, 0) + 1
 
+    def process_timer(self, t: float) -> None:
+        """Fire the protocol's timer at *t*; transmit any resulting update.
+
+        The event kernel's counterpart of :meth:`process_sighting`, sharing
+        its per-update bookkeeping.
+        """
+        message = self.source.process_timer(t)
+        if message is not None:
+            key = message.reason.value
+            self.reasons[key] = self.reasons.get(key, 0) + 1
+
     def record_error(self, i: int, predicted: Optional[np.ndarray]) -> None:
         """Measure the server's error against ground truth at sample *i*."""
         if predicted is not None:
@@ -218,12 +253,30 @@ class FleetSimulation:
         ``True``).
     query_workload:
         Optional :class:`~repro.sim.workload.QueryWorkload` replayed against
-        the backend at every simulation tick; its report lands on
-        :attr:`FleetResult.workload`.  Queries are read-only, so attaching a
-        workload never changes the simulation results.
+        the backend at every simulation tick (or, with an
+        ``arrival_rate_per_s`` under the event kernel, at Poisson arrival
+        instants); its report lands on :attr:`FleetResult.workload`.
+        Queries are read-only, so attaching a workload never changes the
+        simulation results.
     record_query_answers:
         Keep every workload query's answer on
         ``self.workload_executor.answers`` (tests / benchmarks only).
+    kernel:
+        ``"tick"`` (the classic time-stepped loop) or ``"event"`` (the
+        discrete-event scheduler of :mod:`repro.sim.kernel`).  With uniform
+        sampling, tick-aligned latency and on-grid (or absent) protocol
+        timer deadlines the two are bit-identical; the event kernel
+        additionally gives exact channel delivery instants, exact protocol
+        timers (off-grid deadlines fire at their exact instants — a
+        deliberate divergence from the polled tick loop), Poisson query
+        arrivals and cheap sparse mixed-rate fleets.
+    handoff_interval:
+        Event-kernel only: schedule a shard-boundary maintenance event
+        every this many simulated seconds (the backend must expose
+        ``rebalance``, i.e. be a
+        :class:`~repro.service.facade.LocationService`), so drifting
+        objects are handed between shards even while no query forces a
+        prepare pass.  ``None`` (default) schedules no handoff events.
     """
 
     def __init__(
@@ -234,6 +287,8 @@ class FleetSimulation:
         count_initial_update: bool = True,
         query_workload: Optional[QueryWorkload] = None,
         record_query_answers: bool = False,
+        kernel: str = "tick",
+        handoff_interval: Optional[float] = None,
     ):
         lanes = list(lanes)
         if not lanes:
@@ -250,6 +305,25 @@ class FleetSimulation:
         self.count_initial_update = bool(count_initial_update)
         self.query_workload = query_workload
         self.record_query_answers = bool(record_query_answers)
+        self.kernel = validate_kernel(kernel)
+        if (
+            query_workload is not None
+            and query_workload.arrival_rate_per_s is not None
+            and self.kernel != "event"
+        ):
+            raise ValueError(
+                "Poisson query arrivals (arrival_rate_per_s) require kernel='event'"
+            )
+        if handoff_interval is not None:
+            if handoff_interval <= 0:
+                raise ValueError("handoff_interval must be positive")
+            if self.kernel != "event":
+                raise ValueError("handoff events require kernel='event'")
+            if not callable(getattr(self.server, "rebalance", None)):
+                raise ValueError(
+                    "handoff_interval needs a sharded service backend (rebalance())"
+                )
+        self.handoff_interval = handoff_interval
         #: The executor of the last run's query workload (``None`` without one).
         self.workload_executor: Optional[WorkloadExecutor] = None
 
@@ -300,7 +374,9 @@ class FleetSimulation:
             )
         self.workload_executor = executor
 
-        if len(states) == 1:
+        if self.kernel == "event":
+            self._run_event(states, channels, executor)
+        elif len(states) == 1:
             self._run_single(states[0], executor)
         else:
             self._run_merged(states, executor)
@@ -407,6 +483,176 @@ class FleetSimulation:
                 state.record_error(i, position)
             if executor is not None:
                 executor.on_tick(t)
+
+    def _run_event(
+        self,
+        states: List[_LaneState],
+        channels: List[MessageChannel],
+        executor: Optional[WorkloadExecutor] = None,
+    ) -> None:
+        """Discrete-event schedule over the same lane states.
+
+        Every happening is an agenda entry of :class:`EventKernel`: lane
+        sightings (``SAMPLE``), protocol deadline expiries (``TIMER``),
+        exact-instant channel deliveries (``DELIVERY``), periodic shard
+        maintenance (``HANDOFF``) and workload query arrivals (``QUERY``).
+        All events at one instant are drained together and applied in the
+        tick loop's per-timestep order — sightings and timers first, then
+        one delivery batch (per channel, sorted like
+        :meth:`~repro.service.channel.MessageChannel.deliver_due`), then
+        the batched error measurement, then queries — which is what makes
+        the degenerate schedule bit-identical to the tick loop.
+        """
+        server = self.server
+        ingest = getattr(server, "ingest_batch", None)
+        kern = EventKernel()
+        times_per_lane = [state.times.tolist() for state in states]
+        lane_samples = [len(t) for t in times_per_lane]
+        lane_end = [t[-1] for t in times_per_lane]
+        end_time = max(lane_end)
+        next_sample = [0] * len(states)
+        # Lanes whose protocol never announces deadlines (the base-class
+        # hook) skip timer arming entirely — it is pure overhead on the
+        # per-sample hot path of threshold-style protocols.
+        uses_timer = [
+            type(state.lane.protocol).next_deadline is not UpdateProtocol.next_deadline
+            for state in states
+        ]
+        channel_index = {channel: n for n, channel in enumerate(channels)}
+        #: Deadline currently scheduled per lane; superseded entries stay on
+        #: the agenda and are ignored as stale when they pop.
+        armed: List[Optional[float]] = [None] * len(states)
+
+        def arm_timer(n: int) -> None:
+            deadline = states[n].lane.protocol.next_deadline()
+            if deadline is None or deadline == armed[n] or deadline > lane_end[n]:
+                return
+            kern.schedule(deadline, TIMER, (n, deadline))
+            armed[n] = deadline
+
+        def delivery_scheduler(channel):
+            # The simulation clock stops at the last sighting (exactly like
+            # the tick loop): a message due past the horizon stays
+            # undelivered rather than extending the run.
+            def schedule(deliver_at, oid, msg, _ch=channel):
+                if deliver_at <= end_time:
+                    kern.schedule(deliver_at, DELIVERY, (_ch, oid, msg))
+            return schedule
+
+        for channel in channels:
+            channel.bind_scheduler(delivery_scheduler(channel))
+        try:
+            for n, t_list in enumerate(times_per_lane):
+                kern.schedule(t_list[0], SAMPLE, n)
+            start_time = min(t_list[0] for t_list in times_per_lane)
+            poisson = executor is not None and executor.poisson_rate is not None
+            if poisson:
+                first = executor.next_arrival(start_time)
+                if first <= end_time:
+                    kern.schedule(first, QUERY, None)
+            if self.handoff_interval is not None:
+                first = start_time + self.handoff_interval
+                if first <= end_time:
+                    kern.schedule(first, HANDOFF, None)
+            schedule = kern.schedule
+            while kern:
+                t = kern.next_time()
+                sampled: List = []
+                deliveries: Dict[MessageChannel, List] = {}
+                n_queries = 0
+                run_handoff = False
+                for _t, prio, _seq, payload in kern.drain_instant():
+                    if prio == SAMPLE:
+                        n = payload
+                        state = states[n]
+                        i = next_sample[n]
+                        next_sample[n] = i + 1
+                        state.process_sighting(i, t)
+                        sampled.append((state, i))
+                        if i + 1 < lane_samples[n]:
+                            schedule(times_per_lane[n][i + 1], SAMPLE, n)
+                        if uses_timer[n]:
+                            arm_timer(n)
+                    elif prio == TIMER:
+                        n, deadline = payload
+                        state = states[n]
+                        if armed[n] == deadline:
+                            armed[n] = None
+                        # Fire only if the deadline is still current; a
+                        # sighting at this same instant may already have
+                        # serviced it (degenerate-schedule case).
+                        if state.lane.protocol.next_deadline() == deadline:
+                            state.process_timer(t)
+                            if state.lane.protocol.next_deadline() == deadline:
+                                # Progress guard: the protocol declined the
+                                # fire and left its deadline unchanged —
+                                # re-arming it at this same instant would
+                                # spin forever.  Mark it armed-but-spent;
+                                # arming resumes the moment the protocol
+                                # moves its deadline.
+                                armed[n] = deadline
+                                continue
+                        arm_timer(n)
+                    elif prio == DELIVERY:
+                        ch, oid, msg = payload
+                        deliveries.setdefault(ch, []).append((t, oid, msg))
+                    elif prio == HANDOFF:
+                        run_handoff = True
+                    else:
+                        n_queries += 1
+                if deliveries:
+                    delivered: List = []
+                    # Only the channels that actually delivered, in the
+                    # fleet's canonical channel order (the tick loop's
+                    # seen-channel order in the degenerate case).
+                    ordered = (
+                        sorted(deliveries, key=channel_index.__getitem__)
+                        if len(deliveries) > 1
+                        else deliveries
+                    )
+                    for channel in ordered:
+                        entries = deliveries[channel]
+                        entries.sort()
+                        batch = [(oid, msg) for _, oid, msg in entries]
+                        channel.record_scheduled_delivery(batch)
+                        delivered.extend(batch)
+                    if ingest is not None:
+                        ingest(delivered, t)
+                    else:
+                        for oid, msg in delivered:
+                            server.receive_update(oid, msg, t)
+                if run_handoff:
+                    server.rebalance(t)
+                    nxt = t + self.handoff_interval
+                    if nxt <= end_time:
+                        kern.schedule(nxt, HANDOFF, None)
+                if sampled:
+                    if len(sampled) == 1:
+                        # Sparse fleets mostly see one sighting per instant;
+                        # skip the batch plumbing for that case.
+                        state, i = sampled[0]
+                        state.record_error(
+                            i, server.predict_position(state.lane.object_id, t)
+                        )
+                    else:
+                        predicted = server.predict_positions(
+                            [state.lane.object_id for state, _ in sampled], t
+                        )
+                        for (state, i), position in zip(sampled, predicted):
+                            state.record_error(i, position)
+                    if executor is not None:
+                        if poisson:
+                            executor.note_tick()
+                        else:
+                            executor.on_tick(t)
+                for _ in range(n_queries):
+                    executor.run_query(t)
+                    nxt = executor.next_arrival(t)
+                    if nxt <= end_time:
+                        kern.schedule(nxt, QUERY, None)
+        finally:
+            for channel in channels:
+                channel.unbind_scheduler()
 
 
 def run_fleet(

@@ -41,7 +41,7 @@ from repro.sim.engine import ProtocolSimulation
 from repro.sim.fleet import FleetSimulation
 from repro.sim.metrics import SimulationResult
 from repro.sim.sweep import SweepPoint
-from repro.sim.workload import QueryWorkload, default_query_mix
+from repro.sim.workload import QueryWorkload, default_query_mix, default_query_rate
 
 
 # --------------------------------------------------------------------------- #
@@ -58,15 +58,23 @@ class ScenarioSpec:
 
     The spec doubles as the scenario cache key, so ``__post_init__``
     canonicalises every field: the name through the registry, ``scale`` to
-    ``float``, and ``seed`` to ``int`` — with ``None`` resolved to the
-    scenario's default seed.  Distinct ``seed``/``scale`` combinations can
-    therefore never alias one cache entry, and the default seed written
-    explicitly shares its entry with ``seed=None``.
+    ``float``, ``seed`` to ``int`` — with ``None`` resolved to the
+    scenario's default seed — and ``sample_interval`` to ``float`` (or
+    ``None`` for the scenario's native sighting rate).  Distinct
+    ``seed``/``scale``/``sample_interval`` combinations can therefore never
+    alias one cache entry, and the default seed written explicitly shares
+    its entry with ``seed=None``.
+
+    ``sample_interval`` decimates the built scenario's sighting stream to
+    one fix every that many seconds (see
+    :func:`repro.mobility.generator.resample_scenario`) — the per-lane
+    sampling-rate knob behind mixed-rate fleets.
     """
 
     name: str
     scale: float = 1.0
     seed: Optional[int] = None
+    sample_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Runtime import: the library lives above the runner in the package
@@ -79,6 +87,10 @@ class ScenarioSpec:
         object.__setattr__(
             self, "seed", entry.default_seed if self.seed is None else int(self.seed)
         )
+        if self.sample_interval is not None:
+            object.__setattr__(self, "sample_interval", float(self.sample_interval))
+            if self.sample_interval <= 0:
+                raise ValueError("sample_interval must be positive")
         if not (0.0 < self.scale <= 1.0):
             raise ValueError("scale must be in (0, 1]")
 
@@ -93,9 +105,22 @@ _SCENARIO_CACHE: Dict[ScenarioSpec, Scenario] = {}
 def _cached_scenario(spec: ScenarioSpec) -> Scenario:
     scenario = _SCENARIO_CACHE.get(spec)
     if scenario is None:
-        from repro.experiments.library import build_library_scenario
+        if spec.sample_interval is not None:
+            # Decimated variants share the (cached) base build: sweeping
+            # several sighting rates over one scenario generates it once,
+            # and a no-op interval aliases the very same object.
+            from repro.mobility.generator import resample_scenario
 
-        scenario = build_library_scenario(spec.name, seed=spec.seed, scale=spec.scale)
+            base = _cached_scenario(
+                ScenarioSpec(name=spec.name, scale=spec.scale, seed=spec.seed)
+            )
+            scenario = resample_scenario(base, spec.sample_interval)
+        else:
+            from repro.experiments.library import build_library_scenario
+
+            scenario = build_library_scenario(
+                spec.name, seed=spec.seed, scale=spec.scale
+            )
         _SCENARIO_CACHE[spec] = scenario
     return scenario
 
@@ -112,6 +137,7 @@ def _simulate(
     scenario: Scenario,
     protocol: UpdateProtocol,
     channel: Optional[MessageChannel] = None,
+    kernel: str = "tick",
 ) -> SimulationResult:
     """The one engine invocation every runner entry point funnels through."""
     return ProtocolSimulation(
@@ -119,6 +145,7 @@ def _simulate(
         sensor_trace=scenario.sensor_trace,
         truth_trace=scenario.true_trace,
         channel=channel,
+        kernel=kernel,
     ).run()
 
 
@@ -128,11 +155,14 @@ class SweepTask:
 
     scenario: ScenarioSpec
     config: SimulationConfig
+    kernel: str = "tick"
 
     def run(self) -> SweepPoint:
         """Execute this point in the current process."""
         scenario = self.scenario.build()
-        result = _simulate(scenario, self.config.build_protocol(scenario))
+        result = _simulate(
+            scenario, self.config.build_protocol(scenario), kernel=self.kernel
+        )
         return SweepPoint(accuracy=float(self.config.accuracy), result=result)
 
 
@@ -168,6 +198,11 @@ class QueryBenchSpec:
     (:func:`repro.sim.workload.default_query_mix`): geofence-heavy for
     pedestrian scenarios, nearest-heavy for city grids, range-heavy for
     corridors.
+
+    ``kernel="event"`` runs the fleet on the discrete-event kernel; with
+    ``arrival_rate_per_s`` set (explicitly, or defaulted from the library
+    entry's ``query_rate_per_s``) queries then arrive as a Poisson process
+    at exact instants instead of per tick.
     """
 
     scenario: str
@@ -177,6 +212,8 @@ class QueryBenchSpec:
     shards: int = 4
     scale: float = 1.0
     seed: Optional[int] = None
+    kernel: str = "tick"
+    arrival_rate_per_s: Optional[float] = None
     #: Scenario-seed step between lanes: each object drives its own seeded
     #: variant of the scenario, so the fleet spreads over the map instead of
     #: platooning along one shared trace.  ``0`` shares a single trace.
@@ -192,7 +229,24 @@ class QueryBenchSpec:
     workload_seed: int = 0
 
     def build_workload(self) -> QueryWorkload:
-        """The :class:`QueryWorkload` this spec describes."""
+        """The :class:`QueryWorkload` this spec describes.
+
+        A Poisson arrival rate is attached only under the event kernel
+        (the tick loop cannot honour exact arrival instants): either the
+        spec's explicit ``arrival_rate_per_s`` or, failing that, the
+        library entry's ``query_rate_per_s`` default.  An *explicit* rate
+        combined with the tick kernel is rejected rather than silently
+        ignored; only the library default is dropped on the tick path.
+        """
+        arrival = None
+        if self.kernel == "event":
+            arrival = self.arrival_rate_per_s
+            if arrival is None:
+                arrival = default_query_rate(self.scenario)
+        elif self.arrival_rate_per_s is not None:
+            raise ValueError(
+                "arrival_rate_per_s (Poisson query arrivals) requires kernel='event'"
+            )
         return QueryWorkload(
             queries_per_tick=self.queries_per_tick,
             mix=self.mix if self.mix is not None else default_query_mix(self.scenario),
@@ -200,6 +254,7 @@ class QueryBenchSpec:
             range_extent_m=self.range_extent_m,
             geofence_radius_m=self.geofence_radius_m,
             seed=self.workload_seed,
+            arrival_rate_per_s=arrival,
         )
 
 
@@ -315,6 +370,7 @@ class SweepRunner:
         scenario: Union[ScenarioSpec, Scenario],
         protocol_id: str,
         accuracies: Optional[Sequence[float]] = None,
+        kernel: str = "tick",
         **config_kwargs,
     ) -> List[SweepPoint]:
         """Sweep one protocol id over the requested accuracies.
@@ -330,6 +386,7 @@ class SweepRunner:
                     config=SimulationConfig(
                         protocol_id=protocol_id, accuracy=float(us), **config_kwargs
                     ),
+                    kernel=kernel,
                 )
                 for us in us_values
             ]
@@ -340,6 +397,7 @@ class SweepRunner:
                 protocol_id=protocol_id, accuracy=us, **config_kwargs
             ).build_protocol(scenario),
             accuracies,
+            kernel=kernel,
         )
 
     def run_factory_sweep(
@@ -347,6 +405,7 @@ class SweepRunner:
         scenario: Scenario,
         protocol_factory: Callable[[float], UpdateProtocol],
         accuracies: Optional[Sequence[float]] = None,
+        kernel: str = "tick",
     ) -> List[SweepPoint]:
         """Sweep an arbitrary (not necessarily picklable) protocol factory.
 
@@ -355,7 +414,7 @@ class SweepRunner:
         """
         points: List[SweepPoint] = []
         for us in accuracies if accuracies is not None else scenario.us_values:
-            result = _simulate(scenario, protocol_factory(float(us)))
+            result = _simulate(scenario, protocol_factory(float(us)), kernel=kernel)
             points.append(SweepPoint(accuracy=float(us), result=result))
         return points
 
@@ -364,6 +423,7 @@ class SweepRunner:
         scenario: Scenario,
         prototype: UpdateProtocol,
         accuracies: Optional[Sequence[float]] = None,
+        kernel: str = "tick",
     ) -> List[SweepPoint]:
         """Sweep a prototype protocol via its ``clone_for`` reuse hook.
 
@@ -371,7 +431,7 @@ class SweepRunner:
         once and shared by every point instead of once per point.
         """
         return self.run_factory_sweep(
-            scenario, lambda us: prototype.clone_for(us), accuracies
+            scenario, lambda us: prototype.clone_for(us), accuracies, kernel=kernel
         )
 
     def run_single(
@@ -379,9 +439,10 @@ class SweepRunner:
         scenario: Scenario,
         protocol: UpdateProtocol,
         channel: Optional[MessageChannel] = None,
+        kernel: str = "tick",
     ) -> SimulationResult:
         """One protocol over one scenario (the ablation studies' unit)."""
-        return _simulate(scenario, protocol, channel)
+        return _simulate(scenario, protocol, channel, kernel=kernel)
 
     def run_query_bench(self, spec: "QueryBenchSpec") -> Dict[str, object]:
         """Run one query-workload replay against a live fleet.
@@ -422,7 +483,9 @@ class SweepRunner:
         if region is None:
             region = auto_region_size(lanes, spec.shards)
         service = LocationService(n_shards=spec.shards, region_size=region)
-        fleet = FleetSimulation(lanes, server=service, query_workload=workload).run()
+        fleet = FleetSimulation(
+            lanes, server=service, query_workload=workload, kernel=spec.kernel
+        ).run()
         service_stats = dict(fleet.service_stats)
         per_shard = service_stats.pop("per_shard", [])
         record: Dict[str, object] = {
@@ -433,8 +496,10 @@ class SweepRunner:
             "shards": spec.shards,
             "scale": spec.scale,
             "seed": base_seed,
+            "kernel": spec.kernel,
             "region_size_m": round(region, 1),
             "queries_per_tick": workload.queries_per_tick,
+            "arrival_rate_per_s": workload.arrival_rate_per_s,
             "mix": dict(workload.mix),
             "updates_per_object_hour": round(fleet.updates_per_object_hour, 2),
             "workload": fleet.workload.as_dict() if fleet.workload else {},

@@ -55,6 +55,13 @@ class QueryWorkload:
         Accuracy margin forwarded to range queries.
     seed:
         Seed of the query stream (centres, kinds, interleaving).
+    arrival_rate_per_s:
+        When set, queries arrive as a **Poisson process** at this mean rate
+        (queries per simulated second) instead of per tick — the natural
+        model for independent application requests hitting a live service.
+        Poisson arrivals are scheduled as exact-instant events, so they
+        require the event kernel (``queries_per_tick`` is ignored then);
+        the tick loop rejects such a workload.
     """
 
     queries_per_tick: float = 1.0
@@ -66,10 +73,13 @@ class QueryWorkload:
     geofence_radius_m: float = 500.0
     margin: float = 0.0
     seed: int = 0
+    arrival_rate_per_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.queries_per_tick < 0:
             raise ValueError("queries_per_tick must be non-negative")
+        if self.arrival_rate_per_s is not None and self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival_rate_per_s must be positive")
         unknown = set(self.mix) - set(QUERY_KINDS)
         if unknown:
             raise ValueError(f"unknown query kinds in mix: {sorted(unknown)}")
@@ -187,6 +197,39 @@ class WorkloadExecutor:
         for _ in range(n):
             self._one_query(time)
 
+    # ------------------------------------------------------------------ #
+    # Poisson arrivals (event kernel)
+    # ------------------------------------------------------------------ #
+    @property
+    def poisson_rate(self) -> Optional[float]:
+        """Arrival rate in queries per simulated second (``None`` = per-tick)."""
+        return self.workload.arrival_rate_per_s
+
+    def next_arrival(self, after: float) -> float:
+        """The next Poisson arrival instant strictly after *after*.
+
+        Inter-arrival gaps are exponential draws from the workload's seeded
+        stream, so the arrival pattern is deterministic per seed.
+        """
+        rate = self.workload.arrival_rate_per_s
+        if rate is None:
+            raise ValueError("workload has no Poisson arrival rate configured")
+        return after + self._rng.expovariate(rate)
+
+    def note_tick(self) -> None:
+        """Record a simulated sample instant without issuing queries.
+
+        The Poisson-arrival path's counterpart of :meth:`on_tick`: queries
+        arrive independently of the sampling grid there, but the report's
+        ``ticks`` counter should still say how many instants the simulation
+        stepped through rather than a misleading ``0``.
+        """
+        self.report.ticks += 1
+
+    def run_query(self, time: float) -> None:
+        """Issue one query at exactly *time* (a kernel query-arrival event)."""
+        self._one_query(time)
+
     def _one_query(self, time: float) -> None:
         rng = self._rng
         workload = self.workload
@@ -249,3 +292,21 @@ def default_query_mix(scenario_name: Optional[str]) -> Dict[str, float]:
     if topology in ("corridor", "interurban", "mixed"):
         return {"range": 2.5, "nearest": 1.0, "geofence": 0.5}
     return balanced
+
+
+def default_query_rate(scenario_name: Optional[str]) -> Optional[float]:
+    """The scenario's default Poisson query-arrival rate, if it has one.
+
+    Library entries can declare ``query_rate_per_s`` (e.g. the
+    ``poisson_queries_freeway`` scenario); everything else returns ``None``
+    and keeps the per-tick workload model.
+    """
+    from repro.experiments.library import get_entry  # runtime: library sits above sim
+
+    if scenario_name is None:
+        return None
+    try:
+        entry = get_entry(scenario_name)
+    except ValueError:
+        return None
+    return entry.query_rate_per_s

@@ -79,10 +79,18 @@ class SpatialIndex(abc.ABC, Generic[T]):
         """Items whose exact geometry lies within *radius* metres of *point*.
 
         Candidates are produced by a bounding-box query and then refined with
-        the items' distance callbacks, so the result is exact.
+        the items' distance callbacks, so the result is exact — "within" is
+        decided solely by ``item.distance(p) <= radius``.  The candidate box
+        is inflated by a float-rounding margin: an item whose true distance
+        exceeds the radius by less than the distance callback's rounding
+        error must still be *refined* (where the callback will round it to
+        exactly ``radius`` and admit it), not silently pruned by the exact
+        bbox test — otherwise the answer would disagree with a brute-force
+        scan using the same callback at the boundary.
         """
         p = as_vec(point)
-        box = BoundingBox.around(p, radius)
+        margin = 1e-9 + 1e-12 * radius
+        box = BoundingBox.around(p, radius + margin)
         out = []
         for item in self.query_bbox(box):
             if item.distance(p) <= radius:

@@ -65,6 +65,22 @@ def test_query_radius_is_exact(segments, query, radius):
     assert hits == expected
 
 
+def test_query_radius_boundary_rounding_regression():
+    """A segment whose true distance exceeds the radius by ~1e-303 (the
+    distance callback rounds it to exactly the radius) must be admitted:
+    membership is decided by the rounded callback, not by the exact bbox
+    prune (hypothesis-found falsifying example, pinned here)."""
+    items = build_items([((0.0, -1.0), (0.0, -4.78e-303))])
+    index = GridIndex(cell_size=700.0, items=items)
+    hits = {item.key for item in index.query_radius((0.0, 1.0), 1.0)}
+    expected = {
+        item.key
+        for item in items
+        if item.distance(np.asarray((0.0, 1.0))) <= 1.0
+    }
+    assert hits == expected == {0}
+
+
 @settings(max_examples=50, deadline=None)
 @given(segments=st.lists(st.tuples(point, point), min_size=1, max_size=25))
 def test_grid_and_rtree_agree_on_bbox_queries(segments):
