@@ -246,6 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fleet.add_argument("--seed", type=int, default=None, help="scenario seed override")
     p_fleet.add_argument(
+        "--processes", type=_positive_int, default=1,
+        help="partition the fleet into spatial shards and run one event "
+             "kernel per worker process (bit-identical to --processes 1)",
+    )
+    p_fleet.add_argument(
+        "--columnar", action="store_true",
+        help="run an eligible homogeneous fleet through the columnar "
+             "(struct-of-arrays) engine — bit-identical and much faster at "
+             "mega-fleet sizes",
+    )
+    p_fleet.add_argument(
         "--shards", type=_positive_int, default=1,
         help="serve the fleet from a spatially sharded LocationService (default 1)",
     )
@@ -507,12 +518,34 @@ def _cmd_fleet(args) -> int:
             n_shards=args.shards,
             region_size=auto_region_size(lanes, args.shards),
         )
-    fleet = FleetSimulation(lanes, server=server, kernel=args.kernel).run()
+    if args.columnar:
+        from repro.sim.columnar import ColumnarFleetEngine
+
+        if args.processes > 1 or server is not None:
+            print(
+                "error: --columnar runs the whole fleet in-process against "
+                "the plain server (drop --processes/--shards)",
+                file=sys.stderr,
+            )
+            return 2
+        reason = ColumnarFleetEngine.ineligibility(lanes)
+        if reason is not None:
+            print(f"error: fleet is not columnar-eligible: {reason}", file=sys.stderr)
+            return 2
+        fleet = ColumnarFleetEngine.from_lanes(lanes).run()
+    else:
+        fleet = FleetSimulation(
+            lanes, server=server, kernel=args.kernel, processes=args.processes
+        ).run()
     title = f"Fleet of {len(lanes)} objects (scale {args.scale:g})"
     if args.kernel != "tick":
         title += f", {args.kernel} kernel"
     if args.shards > 1:
         title += f", {args.shards} shards"
+    if args.processes > 1:
+        title += f", {args.processes} processes"
+    if args.columnar:
+        title += ", columnar engine"
     if args.per_object:
         _emit(args, fleet.as_rows(), title)
         return 0

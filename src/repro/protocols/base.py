@@ -50,13 +50,17 @@ class UpdateReason(enum.Enum):
     """Explicit flush at the end of a trace (not counted by the evaluation)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObjectState:
     """The state of the mobile object as transmitted in an update.
 
     Mirrors the paper's ``o``: position, speed, direction of movement and a
     timestamp, optionally extended with the current link for the map-based
     protocol (``o.l``) and the offset of the (corrected) position along it.
+
+    Slotted: one instance exists per transmitted update, and the server
+    keeps the latest one per tracked object, so the ``__dict__`` saving
+    scales with the fleet.
     """
 
     time: float
@@ -97,7 +101,7 @@ _BASE_UPDATE_BYTES = 8 + 16 + 4 + 4
 _LINK_FIELD_BYTES = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateMessage:
     """A location update transmitted from the source to the server."""
 

@@ -34,7 +34,7 @@ from repro.service.server import LocationServer, TrackedObject
 from repro.service.sharding import GridHashPolicy, ShardingPolicy
 
 
-@dataclass
+@dataclass(slots=True)
 class ShardLoad:
     """Per-shard load counters maintained by the facade."""
 
@@ -58,7 +58,7 @@ class ShardLoad:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryCounters:
     """Service-level query statistics (counts and wall-clock latency)."""
 

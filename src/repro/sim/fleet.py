@@ -50,8 +50,9 @@ import numpy as np
 from repro.geo.bbox import BoundingBox
 from repro.geo.vec import distance
 from repro.protocols.base import UpdateProtocol
-from repro.service.channel import MessageChannel
+from repro.service.channel import ChannelStats, MessageChannel
 from repro.service.server import LocationServer
+from repro.service.sharding import GridHashPolicy
 from repro.service.source import LocationSource
 from repro.sim.kernel import (
     DELIVERY,
@@ -68,7 +69,7 @@ from repro.traces.estimation import estimate_trace
 from repro.traces.trace import Trace
 
 
-@dataclass
+@dataclass(slots=True)
 class FleetLane:
     """One (object, protocol, trace) combination stepped by the fleet loop.
 
@@ -277,6 +278,24 @@ class FleetSimulation:
         :class:`~repro.service.facade.LocationService`), so drifting
         objects are handed between shards even while no query forces a
         prepare pass.  ``None`` (default) schedules no handoff events.
+    processes:
+        Number of worker processes.  With ``processes > 1`` the fleet is
+        partitioned into spatial shards (a :class:`GridHashPolicy` over the
+        lanes' starting positions) and each shard runs its own event
+        kernel in a worker process against a replica of the (empty) server
+        backend and channels; the parent merges the per-object results,
+        channel counters and service statistics commutatively.  Because
+        objects interact only through their own channel messages and server
+        record — and seeded lossy channels draw each message's loss from
+        ``(seed, object_id, sequence)``, not from a stream consumed in send
+        order — the merged outcome is **bit-identical** to the
+        single-process run: same updates, error samples, channel stats and
+        service stats (asserted by the test-suite over the scenario
+        library, on both kernels).  Multi-process runs reject the fleet
+        shapes whose results genuinely depend on cross-object interleaving:
+        unseeded lossy channels, query workloads (one global RNG stream),
+        and tick-kernel latency over mixed sampling grids (a delivery tick
+        is the first tick of the *merged* grid).
     """
 
     def __init__(
@@ -289,6 +308,7 @@ class FleetSimulation:
         record_query_answers: bool = False,
         kernel: str = "tick",
         handoff_interval: Optional[float] = None,
+        processes: int = 1,
     ):
         lanes = list(lanes)
         if not lanes:
@@ -324,8 +344,50 @@ class FleetSimulation:
                     "handoff_interval needs a sharded service backend (rebalance())"
                 )
         self.handoff_interval = handoff_interval
+        self.processes = int(processes)
+        if self.processes < 1:
+            raise ValueError("processes must be at least 1")
+        if self.processes > 1:
+            self._validate_multiprocess()
+        # Worker-shard clock overrides: a shard task runs a lane *subset*,
+        # but handoff instants and the delivery horizon must be computed
+        # from the whole fleet's clock for the merge to be bit-identical.
+        self._clock_start: Optional[float] = None
+        self._horizon: Optional[float] = None
         #: The executor of the last run's query workload (``None`` without one).
         self.workload_executor: Optional[WorkloadExecutor] = None
+
+    def _validate_multiprocess(self) -> None:
+        """Reject fleet shapes whose results depend on cross-object order."""
+        if self.query_workload is not None:
+            raise ValueError(
+                "query workloads draw from one global RNG stream; "
+                "processes > 1 cannot reproduce it — run the workload "
+                "single-process"
+            )
+        channels: List[MessageChannel] = []
+        for lane in self.lanes:
+            ch = lane.channel if lane.channel is not None else self.shared_channel
+            if ch not in channels:
+                channels.append(ch)
+        for ch in channels:
+            if ch.loss_probability > 0.0 and ch._seed is None:
+                raise ValueError(
+                    "unseeded lossy channels draw losses from a shared RNG "
+                    "stream in send order; seed the channel for "
+                    "reproducible multi-process runs"
+                )
+        if self.kernel == "tick" and any(ch.latency > 0.0 for ch in channels):
+            grid = self.lanes[0].sensor_trace.times
+            if not all(
+                np.array_equal(lane.sensor_trace.times, grid) for lane in self.lanes
+            ):
+                raise ValueError(
+                    "tick-kernel channel latency quantises deliveries to the "
+                    "fleet's *merged* sampling grid, which a lane partition "
+                    "cannot reproduce; use kernel='event' for multi-process "
+                    "runs with latency over mixed sampling grids"
+                )
 
     def run(self) -> FleetResult:
         """Execute the fleet simulation and return per-object results.
@@ -335,6 +397,8 @@ class FleetSimulation:
         same long-lived server with overlapping ids) is rejected here,
         before any state is mutated.
         """
+        if self.processes > 1:
+            return self._run_multiprocess()
         server = self.server
         already = [lane.object_id for lane in self.lanes if server.is_registered(lane.object_id)]
         if already:
@@ -509,7 +573,7 @@ class FleetSimulation:
         times_per_lane = [state.times.tolist() for state in states]
         lane_samples = [len(t) for t in times_per_lane]
         lane_end = [t[-1] for t in times_per_lane]
-        end_time = max(lane_end)
+        end_time = max(lane_end) if self._horizon is None else self._horizon
         next_sample = [0] * len(states)
         # Lanes whose protocol never announces deadlines (the base-class
         # hook) skip timer arming entirely — it is pure overhead on the
@@ -544,7 +608,11 @@ class FleetSimulation:
         try:
             for n, t_list in enumerate(times_per_lane):
                 kern.schedule(t_list[0], SAMPLE, n)
-            start_time = min(t_list[0] for t_list in times_per_lane)
+            start_time = (
+                min(t_list[0] for t_list in times_per_lane)
+                if self._clock_start is None
+                else self._clock_start
+            )
             poisson = executor is not None and executor.poisson_rate is not None
             if poisson:
                 first = executor.next_arrival(start_time)
@@ -653,6 +721,244 @@ class FleetSimulation:
         finally:
             for channel in channels:
                 channel.unbind_scheduler()
+
+    # ------------------------------------------------------------------ #
+    # multi-process execution
+    # ------------------------------------------------------------------ #
+    def _run_multiprocess(self) -> FleetResult:
+        """Partition the fleet into spatial shards and run them in workers.
+
+        Each worker receives one pickled :class:`_ShardTask`: its lane
+        subset, a replica of the shared channel and of the (empty) server
+        backend, and the whole fleet's clock bounds.  Within one task
+        payload the pickle memo preserves object identity (lanes sharing a
+        channel keep sharing its replica), while separate tasks get
+        independent replicas — which is exactly the isolation the merge
+        assumes.  Results are merged commutatively: per-lane results in
+        lane order, channel counters summed into the parent's channel
+        objects, and service statistics reconstructed (the one global
+        counter, ``batches_ingested``, is the cardinality of the union of
+        the workers' non-empty ingest instants).
+        """
+        server = self.server
+        if server.object_ids():
+            raise ValueError(
+                "processes > 1 replicates the server backend into workers, "
+                "which requires an empty (freshly constructed) backend; "
+                f"this one already tracks {len(server.object_ids())} objects"
+            )
+        # Canonical channel slots: 0 is the fleet's shared channel, further
+        # slots are per-lane channels in first-use order.
+        channel_order: List[MessageChannel] = [self.shared_channel]
+        lane_slots: List[int] = []
+        for lane in self.lanes:
+            if lane.channel is None or lane.channel is self.shared_channel:
+                lane_slots.append(0)
+                continue
+            if lane.channel not in channel_order:
+                channel_order.append(lane.channel)
+            lane_slots.append(channel_order.index(lane.channel))
+        from repro.sim.runner import auto_region_size
+
+        policy = GridHashPolicy(
+            self.processes, region_size=auto_region_size(self.lanes, self.processes)
+        )
+        groups: Dict[int, List[int]] = {}
+        for n, lane in enumerate(self.lanes):
+            shard = policy.shard_for_point(lane.sensor_trace.positions[0])
+            groups.setdefault(shard, []).append(n)
+        clock_start = min(float(lane.sensor_trace.times[0]) for lane in self.lanes)
+        horizon = max(float(lane.sensor_trace.times[-1]) for lane in self.lanes)
+        tasks = [
+            _ShardTask(
+                lanes=[self.lanes[i] for i in groups[shard]],
+                lane_slots=[lane_slots[i] for i in groups[shard]],
+                shared_channel=self.shared_channel,
+                server=server,
+                count_initial_update=self.count_initial_update,
+                kernel=self.kernel,
+                handoff_interval=self.handoff_interval,
+                clock_start=clock_start,
+                horizon=horizon,
+            )
+            for shard in sorted(groups)
+        ]
+        outcomes = _execute_shard_tasks(tasks, self.processes)
+
+        # Per-lane results, in lane order (the single-process dict order).
+        by_object: Dict[str, SimulationResult] = {}
+        for outcome in outcomes:
+            by_object.update(outcome["results"])
+        results = {lane.object_id: by_object[lane.object_id] for lane in self.lanes}
+
+        # Channel counters: reset the parent channels the single-process
+        # run would have reset, then write the summed worker counters back.
+        used_channels: List[MessageChannel] = []
+        for lane in self.lanes:
+            ch = lane.channel if lane.channel is not None else self.shared_channel
+            if ch not in used_channels:
+                used_channels.append(ch)
+        for ch in used_channels:
+            ch.reset()
+        merged: Dict[int, ChannelStats] = {}
+        for outcome in outcomes:
+            for slot, stats in outcome["channel_stats"].items():
+                agg = merged.setdefault(slot, ChannelStats())
+                agg.messages_sent += stats.messages_sent
+                agg.messages_delivered += stats.messages_delivered
+                agg.messages_lost += stats.messages_lost
+                agg.bytes_sent += stats.bytes_sent
+                agg.bytes_delivered += stats.bytes_delivered
+                agg.max_queue_delay = max(agg.max_queue_delay, stats.max_queue_delay)
+        for slot, agg in merged.items():
+            channel_order[slot].stats = agg
+
+        service_stats = self._merge_service_stats(outcomes)
+
+        # Register the lanes with the parent backend so the one-shot
+        # protection (and any later lookups) behave as after a local run.
+        for lane in self.lanes:
+            server.register_object(
+                lane.object_id,
+                prediction=lane.protocol.prediction_function(),
+                accuracy=lane.protocol.accuracy,
+            )
+        self.workload_executor = None
+        return FleetResult(results=results, service_stats=service_stats)
+
+    @staticmethod
+    def _merge_service_stats(outcomes: List[Dict[str, object]]) -> Dict[str, object]:
+        """Reconstruct the sharded service's statistics from worker stats.
+
+        Every service counter is either per-object (so the worker values
+        sum), derived (recomputed from the sums), or a per-instant global
+        — ``batches_ingested`` counts instants at which *any* update batch
+        arrived, reconstructed as the union of the workers' non-empty
+        ingest instants.  Query counters are identically zero: workloads
+        are rejected for multi-process runs.
+        """
+        partials = [o["service_stats"] for o in outcomes if o["service_stats"]]
+        if not partials:
+            return {}
+        row_keys = (
+            "objects", "updates", "handoffs_in", "handoffs_out",
+            "engine_queries", "engine_syncs", "engine_moves",
+        )
+        n_shards = int(partials[0]["shards"])
+        rows: List[Dict[str, object]] = [
+            {"shard": s, **{k: 0 for k in row_keys}} for s in range(n_shards)
+        ]
+        for partial in partials:
+            for row in partial["per_shard"]:
+                target = rows[int(row["shard"])]
+                for key in row_keys:
+                    target[key] += row[key]
+        instants: set = set()
+        for outcome in outcomes:
+            instants.update(outcome["ingest_instants"])
+        objects = [int(row["objects"]) for row in rows]
+        mean_objects = sum(objects) / len(objects) if objects else 0.0
+        return {
+            "shards": n_shards,
+            "objects": sum(int(p["objects"]) for p in partials),
+            "updates_ingested": sum(int(p["updates_ingested"]) for p in partials),
+            "batches_ingested": len(instants),
+            "handoffs": sum(int(p["handoffs"]) for p in partials),
+            "prepare_passes": sum(int(p["prepare_passes"]) for p in partials),
+            "range_queries": 0,
+            "nearest_queries": 0,
+            "geofence_queries": 0,
+            "queries": 0,
+            "query_seconds": 0.0,
+            "mean_query_seconds": 0.0,
+            "load_imbalance": (max(objects) / mean_objects) if mean_objects else 0.0,
+            "per_shard": rows,
+        }
+
+
+@dataclass
+class _ShardTask:
+    """One worker's share of a multi-process fleet run (picklable)."""
+
+    lanes: List[FleetLane]
+    lane_slots: List[int]
+    shared_channel: MessageChannel
+    server: LocationServer
+    count_initial_update: bool
+    kernel: str
+    handoff_interval: Optional[float]
+    clock_start: float
+    horizon: float
+
+    def run(self) -> Dict[str, object]:
+        """Run this shard's lanes and package the mergeable outcome."""
+        fleet = FleetSimulation(
+            self.lanes,
+            channel=self.shared_channel,
+            server=self.server,
+            count_initial_update=self.count_initial_update,
+            kernel=self.kernel,
+            handoff_interval=self.handoff_interval,
+        )
+        fleet._clock_start = self.clock_start
+        fleet._horizon = self.horizon
+        # Record the instants at which this worker's backend ingested a
+        # non-empty batch: the parent reconstructs the global
+        # ``batches_ingested`` counter as the union across workers.
+        instants: List[float] = []
+        ingest = getattr(fleet.server, "ingest_batch", None)
+        if ingest is not None:
+            def recording(messages, time, _ingest=ingest):
+                if messages:
+                    instants.append(float(time))
+                _ingest(messages, time)
+
+            fleet.server.ingest_batch = recording
+        outcome = fleet.run()
+        channel_stats: Dict[int, ChannelStats] = {}
+        reported: List[MessageChannel] = []
+        for lane, slot in zip(self.lanes, self.lane_slots):
+            ch = lane.channel if lane.channel is not None else self.shared_channel
+            if ch in reported:
+                continue
+            reported.append(ch)
+            channel_stats[slot] = ch.stats
+        return {
+            "results": outcome.results,
+            "channel_stats": channel_stats,
+            "ingest_instants": instants,
+            "service_stats": outcome.service_stats or None,
+        }
+
+
+def _run_shard_task(task: _ShardTask) -> Dict[str, object]:
+    """Module-level trampoline so shard tasks can cross process boundaries."""
+    return task.run()
+
+
+def _execute_shard_tasks(
+    tasks: List[_ShardTask], processes: int
+) -> List[Dict[str, object]]:
+    """Run shard tasks and return their outcomes in task order.
+
+    The merge is commutative and keyed by task order, so worker scheduling
+    cannot influence the result (asserted by the test-suite, which also
+    monkeypatches this seam to permute completion order).  A single task
+    runs inline — the partition put every lane in one spatial shard, and a
+    worker round-trip would only add pickling cost.
+    """
+    if len(tasks) == 1 or processes <= 1:
+        # Inline execution still round-trips each task through pickle: the
+        # run must mutate worker *replicas*, never the parent's lanes,
+        # channels or server template — same isolation as a real worker.
+        import pickle
+
+        return [_run_shard_task(pickle.loads(pickle.dumps(task))) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(processes, len(tasks))) as pool:
+        futures = [pool.submit(_run_shard_task, task) for task in tasks]
+        return [future.result() for future in futures]
 
 
 def run_fleet(

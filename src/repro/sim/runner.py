@@ -126,8 +126,61 @@ def _cached_scenario(spec: ScenarioSpec) -> Scenario:
 
 
 def clear_scenario_cache() -> None:
-    """Drop the per-process scenario cache (tests needing fresh randomness)."""
+    """Drop the per-process caches (tests needing fresh randomness).
+
+    Clears the scenario cache and, with it, the protocol prototypes (they
+    hold references into the cached scenarios' maps and routes).
+    """
     _SCENARIO_CACHE.clear()
+    _PROTOCOL_PROTOTYPES.clear()
+
+
+# --------------------------------------------------------------------------- #
+# per-process protocol prototypes
+# --------------------------------------------------------------------------- #
+#: Protocol ids whose construction compiles expensive shared structure (map
+#: matcher geometry, route projections) worth keeping worker-resident.  The
+#: cheap threshold protocols are excluded (a cache lookup costs as much as
+#: building one), and so is time-based reporting, whose default interval is
+#: *derived from the accuracy* — cloning across accuracies would not
+#: reproduce a fresh build.
+_PROTOTYPE_PROTOCOL_IDS = ("map", "known_route")
+
+_PROTOCOL_PROTOTYPES: Dict[tuple, UpdateProtocol] = {}
+
+
+def _build_protocol_cached(
+    spec: "ScenarioSpec", config: SimulationConfig, scenario: Scenario
+) -> UpdateProtocol:
+    """Build *config*'s protocol, reusing a worker-resident prototype.
+
+    An accuracy sweep of a map-based protocol rebuilds the same matcher
+    over the same road map once per point; here each worker process builds
+    it once per (scenario, non-accuracy config) and serves every point a
+    fresh :meth:`~repro.protocols.base.UpdateProtocol.clone_for` — shared
+    structure by reference, per-run state detached, results bit-identical
+    to a fresh build (asserted by the test-suite).  The prototype itself is
+    never run: even the first point gets a clone.
+    """
+    if config.protocol_id not in _PROTOTYPE_PROTOCOL_IDS:
+        return config.build_protocol(scenario)
+    try:
+        key = (
+            spec,
+            config.protocol_id,
+            config.use_sensor_uncertainty,
+            config.estimation_window,
+            config.matching_tolerance,
+            tuple(sorted(config.extra.items())),
+        )
+    except TypeError:
+        # Unhashable extra parameters: fall back to a per-point build.
+        return config.build_protocol(scenario)
+    prototype = _PROTOCOL_PROTOTYPES.get(key)
+    if prototype is None:
+        prototype = config.build_protocol(scenario)
+        _PROTOCOL_PROTOTYPES[key] = prototype
+    return prototype.clone_for(config.accuracy)
 
 
 # --------------------------------------------------------------------------- #
@@ -161,7 +214,9 @@ class SweepTask:
         """Execute this point in the current process."""
         scenario = self.scenario.build()
         result = _simulate(
-            scenario, self.config.build_protocol(scenario), kernel=self.kernel
+            scenario,
+            _build_protocol_cached(self.scenario, self.config, scenario),
+            kernel=self.kernel,
         )
         return SweepPoint(accuracy=float(self.config.accuracy), result=result)
 

@@ -339,3 +339,40 @@ class TestMapFileScenarios:
         rows = json.loads(capsys.readouterr().out)
         assert rows[0]["objects"] == 5
         assert rows[0]["total_updates"] > 0
+
+
+class TestFleetEngines:
+    """--columnar and --processes produce the same rows as the default path."""
+
+    _ARGS = ["--json", "fleet", "--mix", "radial_commute:linear:100:3",
+             "--scale", "0.15", "--per-object"]
+
+    def _rows(self, extra, capsys):
+        assert cli.main(self._ARGS + extra) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_columnar_matches_default(self, capsys):
+        baseline = self._rows([], capsys)
+        columnar = self._rows(["--columnar"], capsys)
+        assert columnar == baseline
+
+    def test_processes_matches_default(self, capsys):
+        baseline = self._rows([], capsys)
+        sharded = self._rows(["--processes", "2"], capsys)
+        assert sharded == baseline
+
+    def test_columnar_with_processes_rejected(self, capsys):
+        assert cli.main(self._ARGS + ["--columnar", "--processes", "2"]) == 2
+        assert "columnar" in capsys.readouterr().err
+
+    def test_columnar_ineligible_fleet_rejected(self, capsys):
+        # Map-based protocols have no columnar decision rule.
+        assert cli.main(
+            ["fleet", "--mix", "rush_hour_city:map:100:2", "--scale", "0.1",
+             "--columnar"]
+        ) == 2
+        assert "not columnar-eligible" in capsys.readouterr().err
+
+    def test_processes_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fleet", "--mix", "walking:linear:50:2", "--processes", "0"])

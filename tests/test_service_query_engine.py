@@ -184,3 +184,64 @@ class TestQueryEngineQueries:
             result = engine.k_nearest((500.0, 500.0), k=2)
             assert [oid for oid, _ in result] == ["a", "b"]
             assert all(d == pytest.approx(100.0) for _, d in result)
+
+
+class TestBulkSync:
+    """The cold-start bulk sync is equivalent to the incremental loop."""
+
+    def _engines(self, n=300, seed=11):
+        import repro.service.query_engine as qe_mod
+
+        rng = np.random.default_rng(seed)
+        positions = _positions(rng, n)
+        assert n >= qe_mod._BULK_SYNC_THRESHOLD
+        bulk = QueryEngine(cell_size=500.0)
+        moved_bulk = bulk.sync(positions, time=0.0)
+        incremental = QueryEngine(cell_size=500.0)
+        threshold = qe_mod._BULK_SYNC_THRESHOLD
+        try:
+            qe_mod._BULK_SYNC_THRESHOLD = n + 1
+            moved_inc = incremental.sync(positions, time=0.0)
+        finally:
+            qe_mod._BULK_SYNC_THRESHOLD = threshold
+        assert moved_bulk == moved_inc == n
+        return bulk, incremental, positions
+
+    def test_bulk_cold_start_matches_incremental(self):
+        bulk, incremental, positions = self._engines()
+        assert bulk.object_ids() == incremental.object_ids()
+        assert bulk.syncs == incremental.syncs == 1
+        assert bulk.moves == incremental.moves
+        assert bulk._cells == incremental._cells
+        probes = [
+            BoundingBox(0.0, 0.0, 3000.0, 3000.0),
+            BoundingBox(4000.0, 2000.0, 8000.0, 9000.0),
+        ]
+        for box in probes:
+            assert bulk.range_query(box) == incremental.range_query(box)
+            assert bulk.candidates_in_box(box) == incremental.candidates_in_box(box)
+        for point in ((5000.0, 5000.0), (137.0, 9900.0)):
+            assert bulk.k_nearest(point, 7) == incremental.k_nearest(point, 7)
+            assert bulk.within_radius(point, 1500.0) == incremental.within_radius(point, 1500.0)
+
+    def test_incremental_updates_after_bulk_start(self):
+        bulk, incremental, positions = self._engines()
+        moved_positions = dict(positions)
+        ids = list(positions)
+        for oid in ids[:20]:
+            moved_positions[oid] = positions[oid] + np.array([1300.0, -700.0])
+        del moved_positions[ids[-1]]
+        assert bulk.sync(moved_positions, 1.0) == incremental.sync(moved_positions, 1.0)
+        assert bulk.object_ids() == incremental.object_ids()
+        assert bulk.drops == incremental.drops == 1
+        box = BoundingBox(0.0, 0.0, 10_000.0, 10_000.0)
+        assert bulk.range_query(box) == incremental.range_query(box)
+
+    def test_small_cold_start_stays_incremental(self):
+        import repro.service.query_engine as qe_mod
+
+        rng = np.random.default_rng(3)
+        positions = _positions(rng, qe_mod._BULK_SYNC_THRESHOLD - 1)
+        engine = QueryEngine(cell_size=500.0)
+        engine.sync(positions, time=0.0)
+        assert len(engine) == len(positions)

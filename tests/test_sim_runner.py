@@ -272,3 +272,59 @@ class TestArtifactRoundTrip:
         path.write_text(json.dumps({"points": []}))
         with pytest.raises(ValueError):
             read_artifact(str(path))
+
+
+class TestProtocolPrototypes:
+    """Workers keep one compiled protocol prototype per (scenario, config)."""
+
+    def _runner_module(self):
+        import repro.sim.runner as runner_mod
+
+        return runner_mod
+
+    def test_map_sweep_reuses_one_prototype(self):
+        runner_mod = self._runner_module()
+        runner_mod.clear_scenario_cache()
+        SweepRunner(jobs=1).run_config_sweep(FREEWAY, "map", [100.0, 200.0, 400.0])
+        map_keys = [k for k in runner_mod._PROTOCOL_PROTOTYPES if k[1] == "map"]
+        assert len(map_keys) == 1
+        prototype = runner_mod._PROTOCOL_PROTOTYPES[map_keys[0]]
+        # The prototype is cloned for every point, never run itself.
+        assert prototype.updates_sent == 0
+        assert prototype.bytes_sent == 0
+        runner_mod.clear_scenario_cache()
+
+    def test_warm_cache_is_bit_identical_to_cold(self):
+        runner_mod = self._runner_module()
+        runner_mod.clear_scenario_cache()
+        cold = SweepRunner(jobs=1).run_config_sweep(FREEWAY, "map", [100.0, 200.0])
+        assert runner_mod._PROTOCOL_PROTOTYPES
+        warm = SweepRunner(jobs=1).run_config_sweep(FREEWAY, "map", [100.0, 200.0])
+        _assert_points_bit_identical(cold, warm)
+        runner_mod.clear_scenario_cache()
+
+    def test_cheap_protocols_bypass_the_cache(self):
+        runner_mod = self._runner_module()
+        runner_mod.clear_scenario_cache()
+        SweepRunner(jobs=1).run_config_sweep(FREEWAY, "linear", ACCURACIES)
+        SweepRunner(jobs=1).run_config_sweep(FREEWAY, "time", [100.0])
+        assert runner_mod._PROTOCOL_PROTOTYPES == {}
+
+    def test_clear_scenario_cache_drops_prototypes(self):
+        runner_mod = self._runner_module()
+        SweepRunner(jobs=1).run_config_sweep(FREEWAY, "map", [100.0])
+        assert runner_mod._PROTOCOL_PROTOTYPES
+        runner_mod.clear_scenario_cache()
+        assert runner_mod._PROTOCOL_PROTOTYPES == {}
+
+    def test_artifacts_byte_identical_across_jobs(self, tmp_path):
+        """jobs=1 and jobs=2 write byte-identical JSON and CSV artifacts."""
+        dirs, names = [tmp_path / "serial", tmp_path / "parallel"], "map_sweep"
+        for jobs, out_dir in zip((1, 2), dirs):
+            with SweepRunner(jobs=jobs) as runner:
+                points = runner.run_config_sweep(CITY, "map", [100.0, 200.0])
+                runner.write_artifacts(points, names, out_dir=str(out_dir))
+        for ext in ("json", "csv"):
+            a = (dirs[0] / f"{names}.{ext}").read_bytes()
+            b = (dirs[1] / f"{names}.{ext}").read_bytes()
+            assert a == b, f"{ext} artifact differs between jobs=1 and jobs=2"

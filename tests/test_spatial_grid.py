@@ -94,3 +94,95 @@ class TestQueries:
     def test_nearest_far_query_still_finds(self, populated_index):
         found = populated_index.nearest((50000.0, 50000.0))
         assert found is not None
+
+
+def point_item(key, x, y, cell_size=100.0):
+    import math
+
+    cx, cy = math.floor(x / cell_size), math.floor(y / cell_size)
+    return IndexedItem(
+        key=key,
+        bounds=BoundingBox(
+            cx * cell_size, cy * cell_size, (cx + 1) * cell_size, (cy + 1) * cell_size
+        ),
+        distance=None,
+    )
+
+
+class TestRebuild:
+    """``rebuild(items)`` is one bulk pass equivalent to N ``insert`` calls."""
+
+    def _items(self):
+        items = [segment_item(i, (0.0, i * 200.0), (1000.0, i * 200.0)) for i in range(10)]
+        # A few point-like (single-cell) items, the moving-object shape.
+        items += [point_item(100 + i, 37.0 + 310.0 * i, 411.0 - 90.0 * i) for i in range(5)]
+        return items
+
+    def _assert_equivalent(self, bulk, incremental):
+        assert len(bulk) == len(incremental)
+        assert bulk.cell_statistics() == incremental.cell_statistics()
+        assert bulk._occupied == incremental._occupied
+        assert sorted(bulk._cells) == sorted(incremental._cells)
+        for cell, bucket in incremental._cells.items():
+            assert [item.key for item in bulk._cells[cell]] == [
+                item.key for item in bucket
+            ]
+        probes = [
+            BoundingBox(-50.0, -50.0, 1050.0, 2050.0),
+            BoundingBox(0.0, 300.0, 400.0, 500.0),
+            BoundingBox(900.0, 900.0, 901.0, 901.0),
+        ]
+        for box in probes:
+            assert [i.key for i in bulk.query_bbox(box)] == [
+                i.key for i in incremental.query_bbox(box)
+            ]
+
+    def test_rebuild_matches_incremental_insertion(self):
+        items = self._items()
+        incremental = GridIndex(cell_size=100.0)
+        for item in items:
+            incremental.insert(item)
+        bulk = GridIndex(cell_size=100.0)
+        bulk.rebuild(items)
+        self._assert_equivalent(bulk, incremental)
+
+    def test_rebuild_replaces_previous_content(self):
+        index = GridIndex(cell_size=100.0)
+        index.insert(segment_item("old", (0, 0), (10, 0)))
+        items = self._items()
+        index.rebuild(items)
+        fresh = GridIndex(cell_size=100.0)
+        fresh.rebuild(items)
+        self._assert_equivalent(index, fresh)
+        assert all(item.key != "old" for item in index.query_bbox(BoundingBox(-1, -1, 11, 1)))
+
+    def test_rebuild_empty_clears(self):
+        index = GridIndex(cell_size=100.0)
+        index.insert(segment_item(0, (0, 0), (10, 0)))
+        index.rebuild([])
+        assert len(index) == 0
+        assert index.query_bbox(BoundingBox(-100, -100, 100, 100)) == []
+        assert index.nearest((0.0, 0.0)) is None
+
+    def test_remove_after_rebuild(self):
+        items = self._items()
+        bulk = GridIndex(cell_size=100.0)
+        bulk.rebuild(items)
+        incremental = GridIndex(cell_size=100.0)
+        for item in items:
+            incremental.insert(item)
+        assert bulk.remove(3) == incremental.remove(3) == 1
+        assert bulk.remove(102) == incremental.remove(102) == 1
+        self._assert_equivalent(bulk, incremental)
+
+    def test_insert_after_rebuild_continues_serials(self):
+        items = self._items()
+        bulk = GridIndex(cell_size=100.0)
+        bulk.rebuild(items)
+        incremental = GridIndex(cell_size=100.0)
+        for item in items:
+            incremental.insert(item)
+        extra = point_item("late", 512.0, 512.0)
+        bulk.insert(extra)
+        incremental.insert(extra)
+        self._assert_equivalent(bulk, incremental)
