@@ -1,0 +1,149 @@
+"""Live serving tier: request latency and saturation throughput.
+
+The live tier (:mod:`repro.service.live`) serves one
+:class:`~repro.service.facade.LocationService` over TCP with single-writer
+ingestion behind a bounded queue.  This benchmark replays a library
+scenario's update stream plus a seeded Poisson query stream against an
+in-process server at **two client concurrencies** (one ingest connection
+vs several racing ones, each alongside a query connection), closed-loop,
+and records per-request wall-clock latency (avg/p50/p95/p99) and the
+saturation throughput into ``BENCH_serve.json`` at the repository root.
+
+Correctness rides along: every run's answers are re-derived on a plain
+in-process facade from the recorded schedule and must be bit-identical
+(``answers_identical``); the committed artifact also records the
+throughput floor each concurrency must meet
+(:data:`_REQUIRED_THROUGHPUT_RPS`, guarded by
+``benchmarks/check_bench_floors.py`` in CI).
+
+Env knobs for quick local runs: ``REPRO_BENCH_SERVE_BATCHES`` /
+``REPRO_BENCH_SERVE_QUERIES`` cap the replayed traffic,
+``REPRO_BENCH_SERVE_MIN_RPS`` lowers the *asserted* throughput floor on
+noisy shared runners (the recorded floor stays at the target).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+
+from repro.experiments.library import FleetMix, fleet_lanes
+from repro.service.live.server import LiveLocationServer
+from repro.service.loadgen import (
+    build_replay_plan,
+    mismatched_answers,
+    run_load_test,
+    service_for_plan,
+)
+from repro.sim.workload import QueryWorkload
+
+from conftest import run_once
+
+_RESULT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_serve.json")
+
+#: Saturation throughput every measured concurrency must sustain
+#: (requests per second, ingest + query combined).  Conservative: an
+#: unloaded local socket does an order of magnitude more; the floor
+#: catches a serialization or event-loop regression, not machine noise.
+_REQUIRED_THROUGHPUT_RPS = 300.0
+
+#: Ingest connections per measured run (each runs alongside one query
+#: connection); the artifact records one entry per concurrency.
+_CONCURRENCIES = (1, 4)
+
+_MIX = "city:linear:100:6"
+_SCALE = 0.25
+_QUERY_RATE_PER_S = 4.0
+
+
+def _env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+def _build_plan():
+    lanes = fleet_lanes([FleetMix.parse(_MIX)], scale=_SCALE, seed=7)
+    workload = QueryWorkload(arrival_rate_per_s=_QUERY_RATE_PER_S, seed=11)
+    return build_replay_plan(
+        lanes,
+        workload,
+        max_batches=_env_int("REPRO_BENCH_SERVE_BATCHES", 400),
+        max_queries=_env_int("REPRO_BENCH_SERVE_QUERIES", 200),
+    )
+
+
+async def _measure(plan, clients: int, n_shards: int = 2):
+    server = LiveLocationServer(
+        service_for_plan(plan, n_shards=n_shards), ingest_queue_size=64
+    )
+    host, port = await server.start()
+    try:
+        report = await run_load_test(
+            plan, host, port, clients=clients, mode="concurrent"
+        )
+    finally:
+        await server.stop()
+    identical = mismatched_answers(plan, report, n_shards=n_shards) == []
+    summary = report.as_dict()
+    summary["answers_identical"] = identical
+    return summary
+
+
+def serve_benchmark():
+    """Measure every concurrency; return the artifact record."""
+    plan = _build_plan()
+    runs = {}
+    for clients in _CONCURRENCIES:
+        runs[f"clients_{clients}"] = asyncio.run(_measure(plan, clients))
+    return {
+        "benchmark": "live_serving_tier",
+        "mix": _MIX,
+        "scale": _SCALE,
+        "query_rate_per_s": _QUERY_RATE_PER_S,
+        "batches": len(plan.batches),
+        "updates": plan.total_updates,
+        "queries": len(plan.calls),
+        "required_throughput_rps": _REQUIRED_THROUGHPUT_RPS,
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "runs": runs,
+        "answers_identical": all(r["answers_identical"] for r in runs.values()),
+        "p99_nonzero": all(
+            r["query"]["p99_ms"] > 0.0 and r["ingest"]["p99_ms"] > 0.0
+            for r in runs.values()
+        ),
+    }
+
+
+def _print_record(record):
+    print(json.dumps({k: v for k, v in record.items() if k != "machine"}, indent=2))
+
+
+def _write_record(record):
+    with open(_RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(_RESULT_PATH)}")
+
+
+def _min_rps() -> float:
+    """The asserted throughput floor (default: the recorded target)."""
+    return float(os.environ.get("REPRO_BENCH_SERVE_MIN_RPS", _REQUIRED_THROUGHPUT_RPS))
+
+
+def test_live_serving_latency_and_throughput(benchmark):
+    record = run_once(benchmark, serve_benchmark)
+    print()
+    _print_record(record)
+    _write_record(record)
+    assert record["answers_identical"], "live answers diverge from the facade replay"
+    assert record["p99_nonzero"], "latency histograms are empty"
+    floor = _min_rps()
+    for name, run in record["runs"].items():
+        assert run["throughput_rps"] >= floor, (
+            f"{name}: {run['throughput_rps']} rps is below the {floor} rps floor"
+        )

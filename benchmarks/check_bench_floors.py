@@ -53,6 +53,13 @@ _SPECS = {
         "floors": {"realtime_factor_largest": "required_realtime"},
         "flags": ["columnar_identical_to_event", "multiprocess_identical"],
     },
+    "BENCH_serve.json": {
+        "floors": {
+            "runs.clients_1.throughput_rps": "required_throughput_rps",
+            "runs.clients_4.throughput_rps": "required_throughput_rps",
+        },
+        "flags": ["answers_identical", "p99_nonzero"],
+    },
 }
 
 

@@ -15,6 +15,9 @@ writing any Python::
     repro fleet --mix city:linear:100:50 --shards 4 --scale 0.1
     repro query-bench --scenario rush_hour_city --count 50 --shards 4 --scale 0.1
     repro query-bench --scenario poisson_queries_freeway --kernel event --scale 0.1
+    repro serve --mix city:linear:100:10 --scale 0.1 --port 7450
+    repro load-test --mix city:linear:100:10 --scale 0.1 --rate 5 --clients 4 --verify
+    repro load-test --mix city:linear:100:10 --scale 0.1 --connect 127.0.0.1:7450
     repro generate-map city --out city.json
     repro generate-trace --scenario walking --out walk.csv --noisy
     repro visualize --scenario freeway --accuracy 200 --scale 0.1
@@ -295,6 +298,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_scale(p_qbench)
     add_kernel(p_qbench)
+
+    def add_mix(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--mix",
+            action="append",
+            required=True,
+            metavar="SCENARIO:PROTOCOL:US[:COUNT]",
+            help="one fleet slice, e.g. rush_hour_city:map:100:25 (repeatable)",
+        )
+
+    p_serve = subparsers.add_parser(
+        "serve",
+        help="serve a scenario fleet's LocationService over TCP (length-prefixed JSON)",
+    )
+    add_mix(p_serve)
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7450, help="listen port, 0 picks a free one (default 7450)"
+    )
+    p_serve.add_argument("--shards", type=_positive_int, default=1)
+    p_serve.add_argument(
+        "--queue-size", type=_positive_int, default=64,
+        help="bound of the ingest queue in batches — the backpressure knob (default 64)",
+    )
+    p_serve.add_argument("--seed", type=int, default=None, help="scenario seed override")
+    add_scale(p_serve)
+
+    p_load = subparsers.add_parser(
+        "load-test",
+        help="replay a fleet's update stream plus Poisson queries against a live server",
+    )
+    add_mix(p_load)
+    p_load.add_argument(
+        "--rate", type=float, default=2.0, metavar="PER_S",
+        help="Poisson query-arrival rate in queries per simulated second (default 2)",
+    )
+    p_load.add_argument(
+        "--clients", type=_positive_int, default=2,
+        help="concurrent ingest connections (default 2)",
+    )
+    p_load.add_argument(
+        "--mode", choices=["concurrent", "lockstep"], default="concurrent",
+        help="concurrent = saturation measurement; lockstep = one connection, "
+             "deterministic plan order (default concurrent)",
+    )
+    p_load.add_argument(
+        "--connect", type=str, default=None, metavar="HOST:PORT",
+        help="drive an already running `repro serve` instead of an in-process server",
+    )
+    p_load.add_argument("--shards", type=_positive_int, default=1)
+    p_load.add_argument(
+        "--queue-size", type=_positive_int, default=64,
+        help="ingest-queue bound of the in-process server (default 64)",
+    )
+    p_load.add_argument(
+        "--no-wait", action="store_true",
+        help="shed load on a full ingest queue instead of waiting for a slot",
+    )
+    p_load.add_argument(
+        "--max-batches", type=_positive_int, default=None,
+        help="cap the replayed update batches (default: the whole stream)",
+    )
+    p_load.add_argument(
+        "--max-queries", type=_positive_int, default=None,
+        help="cap the replayed queries (default: the whole Poisson stream)",
+    )
+    p_load.add_argument(
+        "--verify", action="store_true",
+        help="recompute every answer on an in-process facade and assert the "
+             "live answers bit-identical (in-process server only)",
+    )
+    p_load.add_argument("--seed", type=int, default=None, help="scenario seed override")
+    p_load.add_argument(
+        "--query-seed", type=int, default=0, help="seed of the query stream (default 0)"
+    )
+    add_scale(p_load)
 
     p_import = subparsers.add_parser(
         "import-map",
@@ -626,6 +705,144 @@ def _cmd_query_bench(args) -> int:
     return 0
 
 
+def _parse_fleet_mix(texts: Sequence[str]) -> Optional[List[FleetMix]]:
+    try:
+        return [FleetMix.parse(text) for text in texts]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.live.server import (
+        LiveLocationServer,
+        registrations_for_lanes,
+        service_for_registrations,
+    )
+    from repro.sim.runner import auto_region_size
+
+    mix = _parse_fleet_mix(args.mix)
+    if mix is None:
+        return 2
+    lanes = fleet_lanes(mix, scale=args.scale, seed=args.seed)
+    service = service_for_registrations(
+        registrations_for_lanes(lanes),
+        n_shards=args.shards,
+        region_size=auto_region_size(lanes, args.shards),
+    )
+
+    async def _serve() -> None:
+        server = LiveLocationServer(
+            service,
+            host=args.host,
+            port=args.port,
+            ingest_queue_size=args.queue_size,
+        )
+        host, port = await server.start()
+        print(
+            f"serving {len(lanes)} objects on {host}:{port} "
+            f"({args.shards} shard{'s' if args.shards != 1 else ''}, "
+            f"ingest queue {args.queue_size}); send the shutdown op to stop",
+            file=sys.stderr,
+        )
+        await server.run_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
+def _cmd_load_test(args) -> int:
+    import asyncio
+
+    from repro.service.live.server import LiveLocationServer
+    from repro.service.loadgen import (
+        build_replay_plan,
+        mismatched_answers,
+        run_load_test,
+        service_for_plan,
+    )
+
+    mix = _parse_fleet_mix(args.mix)
+    if mix is None:
+        return 2
+    if args.connect and args.verify:
+        print(
+            "error: --verify needs the in-process server (the reference replay "
+            "must share the registrations); drop --connect",
+            file=sys.stderr,
+        )
+        return 2
+    lanes = fleet_lanes(mix, scale=args.scale, seed=args.seed)
+    workload = QueryWorkload(arrival_rate_per_s=args.rate, seed=args.query_seed)
+    plan = build_replay_plan(
+        lanes, workload, max_batches=args.max_batches, max_queries=args.max_queries
+    )
+    print(
+        f"replaying {len(plan.batches)} batches ({plan.total_updates} updates) "
+        f"and {len(plan.calls)} Poisson queries",
+        file=sys.stderr,
+    )
+
+    async def _drive() -> "object":
+        if args.connect:
+            host, _, port_text = args.connect.rpartition(":")
+            return await run_load_test(
+                plan, host, int(port_text),
+                clients=args.clients, mode=args.mode, wait=not args.no_wait,
+            )
+        server = LiveLocationServer(
+            service_for_plan(plan, n_shards=args.shards),
+            ingest_queue_size=args.queue_size,
+        )
+        host, port = await server.start()
+        try:
+            return await run_load_test(
+                plan, host, port,
+                clients=args.clients, mode=args.mode, wait=not args.no_wait,
+            )
+        finally:
+            await server.stop()
+
+    report = asyncio.run(_drive())
+    summary = report.as_dict()
+    if args.json:
+        print(to_json(summary))
+    else:
+        flat = {
+            key: value
+            for key, value in summary.items()
+            if key not in ("ingest", "query")
+        }
+        print(format_table([flat], title=f"Load test ({args.mode}, {args.clients} clients)"))
+        print()
+        print(format_table(
+            [
+                {"requests": "ingest", **summary["ingest"]},
+                {"requests": "query", **summary["query"]},
+            ],
+            title="Wall-clock latency",
+        ))
+    if args.verify:
+        mismatches = mismatched_answers(plan, report, n_shards=args.shards)
+        if mismatches:
+            print(
+                f"error: {len(mismatches)} answers differ from the facade replay",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"verified: all {len(report.query_records)} live answers "
+            "bit-identical to the facade replay",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_import_map(args) -> int:
     from repro.ingest import import_map
 
@@ -717,6 +934,8 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "fleet": _cmd_fleet,
     "query-bench": _cmd_query_bench,
+    "serve": _cmd_serve,
+    "load-test": _cmd_load_test,
     "import-map": _cmd_import_map,
     "generate-map": _cmd_generate_map,
     "generate-trace": _cmd_generate_trace,

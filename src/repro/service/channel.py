@@ -44,6 +44,21 @@ from repro.protocols.base import UpdateMessage
 DeliveryScheduler = Callable[[float, str, UpdateMessage], None]
 
 
+def delivery_order(entry: Tuple[float, str, UpdateMessage]) -> Tuple[float, str, int]:
+    """Canonical sort key for a batch of ``(deliver_at, object_id, message)``.
+
+    Two messages can share ``(deliver_at, object_id)`` — a zero-latency
+    channel carrying a SAMPLE-triggered and a TIMER-triggered send from the
+    same instant, for example — and :class:`UpdateMessage` is a frozen
+    dataclass without ``order=True``, so sorting raw tuples would fall
+    through to comparing messages and raise ``TypeError``.  The message's
+    sequence number is the deterministic tie-break (send order per object);
+    both kernels' delivery paths sort with this key.
+    """
+    deliver_at, object_id, message = entry
+    return (deliver_at, object_id, message.sequence)
+
+
 @dataclass(slots=True)
 class ChannelStats:
     """Counters describing the traffic that went through a channel.
@@ -168,7 +183,8 @@ class MessageChannel:
             worst = max(time - deliver_at for deliver_at, _, _ in due)
             if worst > self.stats.max_queue_delay:
                 self.stats.max_queue_delay = worst
-        return [(object_id, message) for _, object_id, message in sorted(due)]
+        due.sort(key=delivery_order)
+        return [(object_id, message) for _, object_id, message in due]
 
     def record_scheduled_delivery(self, messages: List[Tuple[str, UpdateMessage]]) -> None:
         """Account for messages the event kernel just delivered exactly.
@@ -183,17 +199,22 @@ class MessageChannel:
         self.stats.bytes_delivered += sum(m.size_bytes for _, m in messages)
 
     def reset(self) -> None:
-        """Drop all in-flight messages and zero the statistics.
+        """Drop all in-flight messages, zero the statistics, unbind any scheduler.
 
         Simulations call this at run start so that a caller-supplied channel
         cannot leak undelivered messages (or counters) from a previous run
-        into the next one.  Seeded channels draw losses per message (keyed
-        by object and sequence number), so repeated runs over one channel
+        into the next one.  A scheduler left bound by a previous run would
+        be worse than a leak: sends would keep landing on the *dead*
+        kernel's agenda and silently never reach the new run's server, so
+        the binding is dropped here too (an event-kernel run re-binds after
+        resetting).  Seeded channels draw losses per message (keyed by
+        object and sequence number), so repeated runs over one channel
         replay the same loss pattern — that is the reproducibility contract.
         The unseeded stream RNG is deliberately left alone: resetting it
         would turn independent runs into replays.
         """
         self._in_flight.clear()
+        self._scheduler = None
         self.stats = ChannelStats()
 
     @property

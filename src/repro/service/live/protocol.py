@@ -1,0 +1,154 @@
+"""Wire protocol of the live serving tier.
+
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  Length-prefixing keeps the
+reader trivial (no sniffing for delimiters inside string escapes) and
+rejects oversized frames before buffering them.
+
+The codecs here are the reason server answers can be asserted
+**bit-identical** to direct facade calls: Python's ``json`` emits floats
+via ``repr``, which round-trips every finite ``float`` exactly, and the
+non-finite values the service legitimately produces (``Infinity`` for an
+unbounded accuracy) are accepted by the parser — so an
+:class:`~repro.protocols.base.UpdateMessage` or a query answer survives
+the wire bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.protocols.base import ObjectState, UpdateMessage, UpdateReason
+
+#: Frames above this size are refused outright (a corrupt or hostile
+#: length prefix must not make the reader allocate gigabytes).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A malformed or oversized frame."""
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, object]]:
+    """Read one JSON frame; ``None`` on a clean EOF before a length prefix."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-frame") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise FrameError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return payload
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: Dict[str, object]) -> None:
+    """Serialise *payload* and write it as one frame (drained)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES} limit")
+    writer.write(_LENGTH.pack(len(body)) + body)
+    await writer.drain()
+
+
+# --------------------------------------------------------------------------- #
+# update-message codec
+# --------------------------------------------------------------------------- #
+def _vec(value) -> Optional[List[float]]:
+    return None if value is None else [float(value[0]), float(value[1])]
+
+
+def encode_state(state: ObjectState) -> Dict[str, object]:
+    """JSON form of an :class:`ObjectState` (floats round-trip exactly)."""
+    return {
+        "time": state.time,
+        "position": _vec(state.position),
+        "velocity": _vec(state.velocity),
+        "speed": state.speed,
+        "link_id": state.link_id,
+        "link_offset": state.link_offset,
+        "uncertainty": state.uncertainty,
+        "acceleration": _vec(state.acceleration),
+    }
+
+
+def decode_state(data: Dict[str, object]) -> ObjectState:
+    """Inverse of :func:`encode_state`."""
+    return ObjectState(
+        time=float(data["time"]),
+        position=np.asarray(data["position"], dtype=float),
+        velocity=np.asarray(data["velocity"], dtype=float),
+        speed=float(data["speed"]),
+        link_id=None if data.get("link_id") is None else int(data["link_id"]),
+        link_offset=(
+            None if data.get("link_offset") is None else float(data["link_offset"])
+        ),
+        uncertainty=float(data.get("uncertainty", 0.0)),
+        acceleration=(
+            None
+            if data.get("acceleration") is None
+            else np.asarray(data["acceleration"], dtype=float)
+        ),
+    )
+
+
+def encode_message(object_id: str, message: UpdateMessage) -> Dict[str, object]:
+    """JSON form of one ``(object_id, UpdateMessage)`` ingest entry."""
+    return {
+        "id": object_id,
+        "sequence": message.sequence,
+        "reason": message.reason.value,
+        "state": encode_state(message.state),
+    }
+
+
+def decode_message(data: Dict[str, object]) -> Tuple[str, UpdateMessage]:
+    """Inverse of :func:`encode_message`."""
+    return (
+        str(data["id"]),
+        UpdateMessage(
+            sequence=int(data["sequence"]),
+            state=decode_state(data["state"]),
+            reason=UpdateReason(data["reason"]),
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# query-answer codec
+# --------------------------------------------------------------------------- #
+def encode_answer(kind: str, answer) -> List[object]:
+    """JSON form of a facade query answer.
+
+    ``range`` answers are sorted id lists (strings pass through); the
+    scored kinds (``nearest`` / ``geofence``) become ``[id, distance]``
+    pairs.
+    """
+    if kind == "range":
+        return list(answer)
+    return [[object_id, float(dist)] for object_id, dist in answer]
+
+
+def decode_answer(kind: str, payload: List[object]):
+    """Inverse of :func:`encode_answer`, restoring the facade's return shape."""
+    if kind == "range":
+        return [str(object_id) for object_id in payload]
+    return [(str(object_id), float(dist)) for object_id, dist in payload]

@@ -1,0 +1,382 @@
+"""The live location server: an asyncio TCP front over one facade.
+
+Design
+------
+One :class:`~repro.service.facade.LocationService` instance serves every
+connection.  The two request classes meet it differently:
+
+* **Ingestion is single-writer.**  ``ingest`` requests do not touch the
+  facade from their connection handler; they enqueue the decoded batch on
+  a **bounded** :class:`asyncio.Queue` and one writer task applies batches
+  in queue order via :meth:`LocationService.ingest_batch`.  The bound is
+  the backpressure mechanism: when the queue is full, a default request
+  *waits* for a slot (the client's send loop slows down to the service's
+  ingest rate instead of growing an unbounded backlog), and a request with
+  ``"wait": false`` is *rejected* immediately with ``"rejected": true`` so
+  open-loop clients can shed load.  Either way memory stays bounded.
+* **Queries are read-only** and answered synchronously on the event loop.
+  Because the loop is cooperative and :meth:`ingest_batch` never awaits,
+  a query can never observe a half-applied batch.
+
+Every accepted ingest batch gets a monotonically increasing **sequence
+number** which the writer publishes as ``applied_seq`` once the batch is
+in the facade.  A query may carry ``min_seq``: the server defers the
+answer until ``applied_seq >= min_seq`` (read-your-writes for a client
+that just ingested), and every query response reports the ``at_seq`` it
+was answered at — which is what lets the load generator replay the exact
+same batch/query interleaving against a plain in-process facade and
+assert the answers bit-identical.
+
+The wire protocol is length-prefixed JSON
+(:mod:`repro.service.live.protocol`).  Requests are JSON objects with an
+``"op"`` key: ``ping``, ``register``, ``ingest``, ``range``, ``nearest``,
+``geofence``, ``stats``, ``shutdown``.  Responses carry ``"ok"`` plus
+op-specific fields, or ``"ok": false`` with an ``"error"`` message (the
+connection survives request errors; framing errors close it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+from repro.geo.bbox import BoundingBox
+from repro.protocols.prediction import LinearPrediction, StaticPrediction
+from repro.service.facade import LocationService
+from repro.service.live.protocol import (
+    FrameError,
+    decode_message,
+    encode_answer,
+    read_frame,
+    write_frame,
+)
+
+#: Prediction functions a client may register over the wire.  Scenario
+#: fleets with richer predictions (map-based, known-route) are registered
+#: server-side at startup from the same lane specs the simulation uses —
+#: those functions are not wire-serialisable.
+WIRE_PREDICTIONS = {
+    "static": StaticPrediction,
+    "linear": LinearPrediction,
+}
+
+_STOP = object()
+
+
+class LiveLocationServer:
+    """Serve one :class:`LocationService` over TCP.
+
+    Parameters
+    ----------
+    service:
+        The facade to serve.  Objects may be pre-registered (the ``serve``
+        CLI registers a whole scenario fleet before listening) and clients
+        may register more via the ``register`` op.
+    host / port:
+        Listen address; port ``0`` picks a free port (tests, in-process
+        load tests).
+    ingest_queue_size:
+        Bound of the ingest queue, in batches.  This is the backpressure
+        knob: small values make waiting/rejection observable under load,
+        large values absorb bigger bursts.
+    """
+
+    def __init__(
+        self,
+        service: Optional[LocationService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ingest_queue_size: int = 64,
+    ):
+        if ingest_queue_size < 1:
+            raise ValueError("ingest_queue_size must be at least 1")
+        self.service = service if service is not None else LocationService()
+        self.host = host
+        self.port = port
+        self.ingest_queue_size = int(ingest_queue_size)
+        self._queue: Optional[asyncio.Queue] = None
+        self._applied_cond: Optional[asyncio.Condition] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set = set()
+        self._stopping = False
+        #: Sequence number of the last *accepted* (enqueued) ingest batch.
+        self.enqueued_seq = 0
+        #: Sequence number of the last batch the writer applied to the facade.
+        self.applied_seq = 0
+        #: ``ingest`` requests turned away because the queue was full.
+        self.rejected_batches = 0
+        #: Per-op request counters (monitoring / tests).
+        self.op_counts: Dict[str, int] = {}
+        #: Set by the ``shutdown`` op; :meth:`run_until_shutdown` awaits it.
+        self.shutdown_requested = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener and start the writer; returns ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._queue = asyncio.Queue(maxsize=self.ingest_queue_size)
+        self._applied_cond = asyncio.Condition()
+        self._stopping = False
+        self._writer_task = asyncio.create_task(self._drain_ingest_queue())
+        self._server = await asyncio.start_server(self._on_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self, grace: float = 5.0) -> None:
+        """Shut down cleanly: stop accepting, finish in-flight work, drain.
+
+        The listener closes first, so no new connections arrive.  Open
+        connections get *grace* seconds to finish their in-flight requests
+        and disconnect (a well-behaved client closes after its last
+        response); stragglers are cancelled.  Every batch accepted before
+        the connections ended is then applied — the writer drains the
+        queue to its stop marker — so an acknowledged ingest is never
+        lost by a clean shutdown.
+        """
+        if self._server is None:
+            return
+        self._stopping = True
+        self._server.close()
+        await self._server.wait_closed()
+        if self._conn_tasks:
+            _done, pending = await asyncio.wait(set(self._conn_tasks), timeout=grace)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await self._queue.put(_STOP)
+        await self._writer_task
+        self._server = None
+        self._writer_task = None
+
+    async def run_until_shutdown(self) -> None:
+        """Serve until a client sends the ``shutdown`` op, then stop."""
+        if self._server is None:
+            await self.start()
+        await self.shutdown_requested.wait()
+        await self.stop()
+
+    @property
+    def ingest_queue_depth(self) -> int:
+        """Batches currently queued for the writer."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # single writer
+    # ------------------------------------------------------------------ #
+    async def _drain_ingest_queue(self) -> None:
+        """The only code path that mutates the facade's records."""
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            seq, time, batch = item
+            try:
+                self.service.ingest_batch(batch, time)
+            finally:
+                self._queue.task_done()
+                async with self._applied_cond:
+                    self.applied_seq = seq
+                    self._applied_cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # connections
+    # ------------------------------------------------------------------ #
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except FrameError:
+                    break
+                if request is None:
+                    break
+                op = str(request.get("op", ""))
+                self.op_counts[op] = self.op_counts.get(op, 0) + 1
+                try:
+                    response = await self._dispatch(op, request)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 — survive request errors
+                    response = {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+                await write_frame(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------ #
+    # request dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, op: str, request: Dict[str, object]) -> Dict[str, object]:
+        if op == "ping":
+            return {"ok": True, "op": "ping", "applied_seq": self.applied_seq}
+        if op == "register":
+            return self._handle_register(request)
+        if op == "ingest":
+            return await self._handle_ingest(request)
+        if op in ("range", "nearest", "geofence"):
+            return await self._handle_query(op, request)
+        if op == "stats":
+            return self._handle_stats()
+        if op == "shutdown":
+            self.shutdown_requested.set()
+            return {"ok": True, "op": "shutdown"}
+        return {"ok": False, "op": op, "error": f"unknown op {op!r}"}
+
+    def _handle_register(self, request: Dict[str, object]) -> Dict[str, object]:
+        objects = request.get("objects", [])
+        if not isinstance(objects, list):
+            return {"ok": False, "op": "register", "error": "objects must be a list"}
+        for spec in objects:
+            kind = str(spec.get("prediction", "static"))
+            if kind not in WIRE_PREDICTIONS:
+                return {
+                    "ok": False,
+                    "op": "register",
+                    "error": (
+                        f"prediction {kind!r} is not wire-registrable; "
+                        f"choose one of {sorted(WIRE_PREDICTIONS)} or register "
+                        "the fleet server-side at startup"
+                    ),
+                }
+        registered = []
+        for spec in objects:
+            object_id = str(spec["id"])
+            self.service.register_object(
+                object_id,
+                prediction=WIRE_PREDICTIONS[str(spec.get("prediction", "static"))](),
+                accuracy=float(spec.get("accuracy", float("inf"))),
+            )
+            registered.append(object_id)
+        return {"ok": True, "op": "register", "registered": registered}
+
+    async def _handle_ingest(self, request: Dict[str, object]) -> Dict[str, object]:
+        time = float(request["t"])
+        batch = [decode_message(entry) for entry in request.get("updates", [])]
+        for object_id, _message in batch:
+            if not self.service.is_registered(object_id):
+                return {
+                    "ok": False,
+                    "op": "ingest",
+                    "error": f"object {object_id!r} is not registered",
+                }
+        if self._stopping:
+            return {"ok": False, "op": "ingest", "error": "server is shutting down"}
+        wait = bool(request.get("wait", True))
+        if not wait and self._queue.full():
+            self.rejected_batches += 1
+            return {
+                "ok": False,
+                "op": "ingest",
+                "rejected": True,
+                "error": "ingest queue full",
+                "queue_depth": self._queue.qsize(),
+            }
+        # Sequence assignment and enqueueing happen without an intervening
+        # await (asyncio.Queue wakes blocked putters FIFO), so queue order
+        # always equals sequence order.
+        self.enqueued_seq += 1
+        seq = self.enqueued_seq
+        await self._queue.put((seq, time, batch))
+        return {
+            "ok": True,
+            "op": "ingest",
+            "seq": seq,
+            "accepted": len(batch),
+            "queue_depth": self._queue.qsize(),
+        }
+
+    async def _handle_query(self, op: str, request: Dict[str, object]) -> Dict[str, object]:
+        time = float(request["t"])
+        min_seq = int(request.get("min_seq", 0))
+        if min_seq > self.enqueued_seq:
+            return {
+                "ok": False,
+                "op": op,
+                "error": (
+                    f"min_seq {min_seq} is ahead of the last accepted ingest "
+                    f"batch ({self.enqueued_seq}); the watermark can never be reached"
+                ),
+            }
+        if self.applied_seq < min_seq:
+            async with self._applied_cond:
+                await self._applied_cond.wait_for(lambda: self.applied_seq >= min_seq)
+        # No await between here and the facade call: at_seq is exactly the
+        # ingestion state the answer was computed against.
+        at_seq = self.applied_seq
+        if op == "range":
+            box = [float(v) for v in request["box"]]
+            answer = self.service.range_query(
+                BoundingBox(box[0], box[1], box[2], box[3]),
+                time,
+                margin=float(request.get("margin", 0.0)),
+            )
+        elif op == "nearest":
+            x, y = (float(v) for v in request["point"])
+            answer = self.service.nearest_objects((x, y), time, k=int(request.get("k", 1)))
+        else:
+            x, y = (float(v) for v in request["point"])
+            answer = self.service.geofence_query((x, y), float(request["radius"]), time)
+        return {"ok": True, "op": op, "answer": encode_answer(op, answer), "at_seq": at_seq}
+
+    def _handle_stats(self) -> Dict[str, object]:
+        stats = self.service.service_stats()
+        return {
+            "ok": True,
+            "op": "stats",
+            "service": stats,
+            "server": {
+                "enqueued_seq": self.enqueued_seq,
+                "applied_seq": self.applied_seq,
+                "ingest_queue_depth": self.ingest_queue_depth,
+                "ingest_queue_size": self.ingest_queue_size,
+                "rejected_batches": self.rejected_batches,
+                "op_counts": dict(self.op_counts),
+                "connections": len(self._conn_tasks),
+            },
+        }
+
+
+def registrations_for_lanes(lanes) -> List[Tuple[str, object, float]]:
+    """Capture ``(object_id, prediction, accuracy)`` for a lane list.
+
+    Exactly what :class:`~repro.sim.fleet.FleetSimulation` registers before
+    a run; captured *before* the lanes' protocols process any sighting so
+    the server and any replay reference share identical registrations.
+    """
+    return [
+        (
+            lane.object_id,
+            lane.protocol.prediction_function(),
+            lane.protocol.accuracy,
+        )
+        for lane in lanes
+    ]
+
+
+def service_for_registrations(
+    registrations: List[Tuple[str, object, float]],
+    n_shards: int = 1,
+    region_size: float = 2000.0,
+) -> LocationService:
+    """A fresh facade with *registrations* applied (server or reference side)."""
+    service = LocationService(n_shards=n_shards, region_size=region_size)
+    for object_id, prediction, accuracy in registrations:
+        service.register_object(object_id, prediction=prediction, accuracy=accuracy)
+    return service

@@ -1,0 +1,400 @@
+"""Replay scenario traffic against a live location server.
+
+The load generator closes the loop the rest of the repository leaves open:
+the simulators *measure* the protocols, this module *serves* them.  It
+
+1. extracts the **update stream** a fleet of lanes would transmit — each
+   lane's protocol processes its sensor trace through a loss-free,
+   zero-latency channel, exactly like the tick kernel's degenerate
+   schedule — and groups the delivered messages into time-ordered batches;
+2. draws the **query stream** from the workload's seeded Poisson machinery
+   (:func:`repro.sim.workload.poisson_query_stream`), so the arrival
+   pattern over simulated time is the same one the event kernel would
+   schedule;
+3. replays both against a :class:`~repro.service.live.server.LiveLocationServer`
+   as concurrent closed-loop clients, recording per-request wall-clock
+   latency (:class:`~repro.service.live.stats.LatencyRecorder`) and the
+   **schedule** the server actually executed: the sequence number every
+   batch was accepted at and the ``at_seq`` every query was answered at.
+
+The recorded schedule is what makes the correctness claim exact instead of
+statistical: :func:`reference_answers` replays the same batches in the same
+sequence order against a plain in-process facade, pausing at every query's
+``at_seq``, and the live answers must be **bit-identical** to the
+reference's — whatever interleaving the network produced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geo.bbox import BoundingBox
+from repro.protocols.base import UpdateMessage
+from repro.service.channel import MessageChannel
+from repro.service.facade import LocationService
+from repro.service.live.client import LiveClient
+from repro.service.live.server import service_for_registrations
+from repro.service.live.stats import LatencyRecorder
+from repro.service.source import LocationSource
+from repro.sim.fleet import FleetLane
+from repro.sim.workload import (
+    QueryCall,
+    QueryWorkload,
+    execute_call,
+    poisson_query_stream,
+)
+from repro.traces.estimation import estimate_trace
+
+#: One ingest batch: every update delivered at one simulated instant.
+Batch = Tuple[float, List[Tuple[str, UpdateMessage]]]
+
+
+@dataclass
+class ReplayPlan:
+    """Everything needed to drive (and verify) one load-test run.
+
+    ``registrations`` holds ``(object_id, prediction, accuracy)`` triples
+    shared verbatim between the live server's facade and the reference
+    facade — prediction functions are deterministic and stateless at query
+    time, so sharing the instances keeps both sides bit-identical.
+    """
+
+    registrations: List[Tuple[str, object, float]]
+    batches: List[Batch]
+    calls: List[QueryCall]
+    area: BoundingBox
+    workload: QueryWorkload
+    start: float
+    end: float
+
+    @property
+    def total_updates(self) -> int:
+        """Update messages summed over every batch."""
+        return sum(len(batch) for _, batch in self.batches)
+
+
+def build_replay_plan(
+    lanes: Sequence[FleetLane],
+    workload: QueryWorkload,
+    max_batches: Optional[int] = None,
+    max_queries: Optional[int] = None,
+) -> ReplayPlan:
+    """Extract a fleet's update stream and draw its Poisson query stream.
+
+    The lanes' protocols are *consumed* (they process every sighting), so
+    callers must pass freshly built lanes.  Updates are transmitted over a
+    loss-free zero-latency channel and grouped per simulated instant in
+    lane order — the batches the tick kernel would hand to
+    :meth:`~repro.service.facade.LocationService.ingest_batch`.
+    """
+    if not lanes:
+        raise ValueError("need at least one lane")
+    if workload.arrival_rate_per_s is None:
+        raise ValueError(
+            "live replay draws query arrivals from the Poisson machinery; "
+            "set QueryWorkload.arrival_rate_per_s"
+        )
+    registrations = [
+        (lane.object_id, lane.protocol.prediction_function(), lane.protocol.accuracy)
+        for lane in lanes
+    ]
+    events: List[Tuple[float, int, str, UpdateMessage]] = []
+    min_xy = [math.inf, math.inf]
+    max_xy = [-math.inf, -math.inf]
+    start = math.inf
+    end = -math.inf
+    for lane_index, lane in enumerate(lanes):
+        truth = lane.truth_trace if lane.truth_trace is not None else lane.sensor_trace
+        mins = truth.positions.min(axis=0)
+        maxs = truth.positions.max(axis=0)
+        min_xy = [min(min_xy[0], float(mins[0])), min(min_xy[1], float(mins[1]))]
+        max_xy = [max(max_xy[0], float(maxs[0])), max(max_xy[1], float(maxs[1]))]
+        times = lane.sensor_trace.times
+        positions = lane.sensor_trace.positions
+        start = min(start, float(times[0]))
+        end = max(end, float(times[-1]))
+        channel = MessageChannel()
+        source = LocationSource(lane.object_id, lane.protocol, channel)
+        velocities, speeds = estimate_trace(
+            times, positions, lane.protocol.estimator.window
+        )
+        for i in range(len(times)):
+            t = float(times[i])
+            source.process_estimated(t, positions[i], velocities[i], float(speeds[i]))
+            for object_id, message in channel.deliver_due(t):
+                events.append((t, lane_index, object_id, message))
+    # Group deliveries sharing an instant into one batch, lanes in lane
+    # order within the instant — the tick loop's batching.
+    events.sort(key=lambda e: (e[0], e[1]))
+    batches: List[Batch] = []
+    for t, _lane_index, object_id, message in events:
+        if batches and batches[-1][0] == t:
+            batches[-1][1].append((object_id, message))
+        else:
+            batches.append((t, [(object_id, message)]))
+    if max_batches is not None:
+        batches = batches[:max_batches]
+        if batches:
+            end = min(end, batches[-1][0])
+    area = BoundingBox(min_xy[0], min_xy[1], max_xy[0], max_xy[1])
+    calls = poisson_query_stream(workload, area, start, end)
+    if max_queries is not None:
+        calls = calls[:max_queries]
+    return ReplayPlan(
+        registrations=registrations,
+        batches=batches,
+        calls=calls,
+        area=area,
+        workload=workload,
+        start=start,
+        end=end,
+    )
+
+
+def plan_region_size(plan: ReplayPlan, n_shards: int) -> float:
+    """Grid-policy region size for a plan's area (the runner's heuristic)."""
+    width = max(plan.area.max_x - plan.area.min_x, 1.0)
+    height = max(plan.area.max_y - plan.area.min_y, 1.0)
+    return max(100.0, math.sqrt(width * height / (8.0 * max(1, n_shards))))
+
+
+def service_for_plan(plan: ReplayPlan, n_shards: int = 1) -> LocationService:
+    """A fresh facade with the plan's registrations applied."""
+    return service_for_registrations(
+        plan.registrations,
+        n_shards=n_shards,
+        region_size=plan_region_size(plan, n_shards),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the load test itself
+# --------------------------------------------------------------------------- #
+@dataclass
+class LoadTestReport:
+    """Latencies, throughput and the recorded schedule of one run."""
+
+    mode: str
+    clients: int
+    ingest_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    query_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    #: ``batch_seqs[i]`` is the server sequence number batch ``i`` was
+    #: accepted at, or ``None`` when backpressure rejected it.
+    batch_seqs: List[Optional[int]] = field(default_factory=list)
+    #: One ``(call_index, at_seq, answer)`` triple per answered query.
+    query_records: List[Tuple[int, int, object]] = field(default_factory=list)
+    rejected_batches: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def accepted_batches(self) -> int:
+        """Batches the server acknowledged with a sequence number."""
+        return sum(1 for seq in self.batch_seqs if seq is not None)
+
+    @property
+    def requests(self) -> int:
+        """Completed requests (accepted ingests + answered queries)."""
+        return self.accepted_batches + len(self.query_records)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Saturation throughput: completed requests per wall-clock second."""
+        return self.requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat summary for reports, the CLI and the benchmark artifact."""
+        return {
+            "mode": self.mode,
+            "clients": self.clients,
+            "batches": len(self.batch_seqs),
+            "accepted_batches": self.accepted_batches,
+            "rejected_batches": self.rejected_batches,
+            "queries": len(self.query_records),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "ingest": self.ingest_latency.summary(),
+            "query": self.query_latency.summary(),
+        }
+
+
+async def run_load_test(
+    plan: ReplayPlan,
+    host: str,
+    port: int,
+    clients: int = 2,
+    mode: str = "concurrent",
+    wait: bool = True,
+) -> LoadTestReport:
+    """Drive a running server with *plan*'s traffic, closed-loop.
+
+    ``mode="concurrent"`` deals the batches round-robin over *clients*
+    ingest connections (each sends its share in plan order, as fast as the
+    server acknowledges) while one query connection issues every call in
+    arrival order — the saturation measurement.  ``mode="lockstep"`` runs
+    one connection that alternates strictly: each query carries
+    ``min_seq`` equal to the last acknowledged batch, so answers are
+    deterministic in plan order (the configuration the bit-identity test
+    pins end to end).
+
+    With ``wait=False`` ingest requests are submitted in shed-load form:
+    a full queue rejects the batch instead of delaying the client.
+    """
+    if mode not in ("concurrent", "lockstep"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if clients < 1:
+        raise ValueError("need at least one client")
+    report = LoadTestReport(mode=mode, clients=clients)
+    report.batch_seqs = [None] * len(plan.batches)
+    started = _time.perf_counter()
+    if mode == "lockstep":
+        await _run_lockstep(plan, host, port, report)
+    else:
+        await _run_concurrent(plan, host, port, clients, wait, report)
+    report.wall_seconds = _time.perf_counter() - started
+    return report
+
+
+async def _ingest_one(
+    client: LiveClient,
+    plan: ReplayPlan,
+    index: int,
+    wait: bool,
+    report: LoadTestReport,
+) -> Optional[int]:
+    """Send batch *index*; record its latency and sequence number."""
+    t, batch = plan.batches[index]
+    started = _time.perf_counter()
+    response = await client.ingest(t, batch, wait=wait, check=False)
+    report.ingest_latency.record(_time.perf_counter() - started)
+    if response.get("ok", False):
+        seq = int(response["seq"])
+        report.batch_seqs[index] = seq
+        return seq
+    if response.get("rejected", False):
+        report.rejected_batches += 1
+        return None
+    raise RuntimeError(f"ingest failed: {response.get('error')}")
+
+
+async def _query_one(
+    client: LiveClient,
+    plan: ReplayPlan,
+    index: int,
+    min_seq: int,
+    report: LoadTestReport,
+) -> None:
+    """Issue call *index*; record its latency, ``at_seq`` and answer."""
+    call = plan.calls[index]
+    started = _time.perf_counter()
+    answer, at_seq = await client.query_call(plan.workload, call, min_seq=min_seq)
+    report.query_latency.record(_time.perf_counter() - started)
+    report.query_records.append((index, at_seq, answer))
+
+
+async def _run_lockstep(
+    plan: ReplayPlan, host: str, port: int, report: LoadTestReport
+) -> None:
+    """One connection, plan order, read-your-writes watermarks."""
+    merged: List[Tuple[float, int, str, int]] = []
+    for i, (t, _batch) in enumerate(plan.batches):
+        merged.append((t, 0, "ingest", i))
+    for i, call in enumerate(plan.calls):
+        merged.append((call.time, 1, "query", i))
+    merged.sort(key=lambda e: (e[0], e[1]))
+    async with await LiveClient.connect(host, port) as client:
+        last_seq = 0
+        for _t, _prio, kind, index in merged:
+            if kind == "ingest":
+                seq = await _ingest_one(client, plan, index, True, report)
+                if seq is not None:
+                    last_seq = seq
+            else:
+                await _query_one(client, plan, index, last_seq, report)
+
+
+async def _run_concurrent(
+    plan: ReplayPlan,
+    host: str,
+    port: int,
+    clients: int,
+    wait: bool,
+    report: LoadTestReport,
+) -> None:
+    """Round-robin ingest connections racing one query connection."""
+
+    async def ingest_worker(worker: int) -> None:
+        async with await LiveClient.connect(host, port) as client:
+            for index in range(worker, len(plan.batches), clients):
+                await _ingest_one(client, plan, index, wait, report)
+
+    async def query_worker() -> None:
+        async with await LiveClient.connect(host, port) as client:
+            for index in range(len(plan.calls)):
+                await _query_one(client, plan, index, 0, report)
+
+    await asyncio.gather(
+        *(ingest_worker(w) for w in range(clients)),
+        query_worker(),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the reference side of the bit-identity assertion
+# --------------------------------------------------------------------------- #
+def reference_answers(
+    plan: ReplayPlan, report: LoadTestReport, n_shards: int = 1
+) -> List[Tuple[int, object]]:
+    """Recompute every recorded query on a plain in-process facade.
+
+    Replays the *recorded* schedule: batches are applied in the sequence
+    order the live server assigned, and each query is answered once the
+    facade has applied exactly the batches with ``seq <= at_seq``.  Returns
+    ``(call_index, answer)`` pairs aligned with ``report.query_records`` —
+    the live answers must equal these bit-for-bit.
+    """
+    service = service_for_plan(plan, n_shards=n_shards)
+    applied = sorted(
+        (seq, index)
+        for index, seq in enumerate(report.batch_seqs)
+        if seq is not None
+    )
+    queries = sorted(
+        range(len(report.query_records)),
+        key=lambda i: report.query_records[i][1],
+    )
+    answers: List[Tuple[int, object]] = [(0, None)] * len(report.query_records)
+    cursor = 0
+    for record_index in queries:
+        call_index, at_seq, _live_answer = report.query_records[record_index]
+        while cursor < len(applied) and applied[cursor][0] <= at_seq:
+            _seq, batch_index = applied[cursor]
+            t, batch = plan.batches[batch_index]
+            service.ingest_batch(batch, t)
+            cursor += 1
+        answers[record_index] = (
+            call_index,
+            execute_call(service, plan.workload, plan.calls[call_index]),
+        )
+    return answers
+
+
+def mismatched_answers(
+    plan: ReplayPlan, report: LoadTestReport, n_shards: int = 1
+) -> List[Tuple[int, object, object]]:
+    """All queries whose live answer differs from the reference replay.
+
+    Empty means the server was bit-identical to direct facade calls for
+    the entire run.  Each mismatch is ``(call_index, live, reference)``.
+    """
+    reference = reference_answers(plan, report, n_shards=n_shards)
+    mismatches: List[Tuple[int, object, object]] = []
+    for (call_index, _at_seq, live), (_ci, ref) in zip(
+        report.query_records, reference
+    ):
+        if live != ref:
+            mismatches.append((call_index, live, ref))
+    return mismatches

@@ -50,7 +50,7 @@ import numpy as np
 from repro.geo.bbox import BoundingBox
 from repro.geo.vec import distance
 from repro.protocols.base import UpdateProtocol
-from repro.service.channel import ChannelStats, MessageChannel
+from repro.service.channel import ChannelStats, MessageChannel, delivery_order
 from repro.service.server import LocationServer
 from repro.service.sharding import GridHashPolicy
 from repro.service.source import LocationSource
@@ -603,9 +603,12 @@ class FleetSimulation:
                     kern.schedule(deliver_at, DELIVERY, (_ch, oid, msg))
             return schedule
 
-        for channel in channels:
-            channel.bind_scheduler(delivery_scheduler(channel))
+        # Bind inside the try: if any bind raises, the finally below still
+        # unbinds whatever was bound so far (unbinding an unbound channel is
+        # a no-op), leaving every channel usable for another run.
         try:
+            for channel in channels:
+                channel.bind_scheduler(delivery_scheduler(channel))
             for n, t_list in enumerate(times_per_lane):
                 kern.schedule(t_list[0], SAMPLE, n)
             start_time = (
@@ -680,7 +683,7 @@ class FleetSimulation:
                     )
                     for channel in ordered:
                         entries = deliveries[channel]
-                        entries.sort()
+                        entries.sort(key=delivery_order)
                         batch = [(oid, msg) for _, oid, msg in entries]
                         channel.record_scheduled_delivery(batch)
                         delivered.extend(batch)

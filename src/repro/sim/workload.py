@@ -33,6 +33,92 @@ QUERY_KINDS = ("range", "nearest", "geofence")
 
 
 @dataclass(frozen=True)
+class QueryCall:
+    """One fully drawn application query: arrival instant, kind and centre.
+
+    The workload's remaining parameters (box extent, ``k``, geofence
+    radius, margin) are properties of the :class:`QueryWorkload`, so a
+    ``(workload, call)`` pair determines the query completely —
+    :func:`execute_call` turns it into a backend answer.  Materialising
+    calls (instead of drawing them inside an executor) is what lets the
+    live-serving load generator and the event kernel issue bit-identical
+    query streams.
+    """
+
+    time: float
+    kind: str
+    cx: float
+    cy: float
+
+
+def _draw_call(rng: random.Random, weights: List[float], area: BoundingBox,
+               time: float) -> QueryCall:
+    """Draw one query's kind and centre (the canonical draw order).
+
+    Every consumer of a workload's RNG stream — the per-tick executor, the
+    kernel's Poisson arrivals, :func:`poisson_query_stream` — draws through
+    this helper, so the streams stay aligned by construction.
+    """
+    kind = rng.choices(QUERY_KINDS, weights=weights)[0]
+    cx = rng.uniform(area.min_x, area.max_x)
+    cy = rng.uniform(area.min_y, area.max_y)
+    return QueryCall(time=time, kind=kind, cx=cx, cy=cy)
+
+
+def execute_call(backend, workload: "QueryWorkload", call: QueryCall):
+    """Answer *call* against *backend* (service surface or linear scans).
+
+    Dispatches exactly like :class:`WorkloadExecutor`: backends exposing
+    the indexed query surface (``nearest_objects``) are queried through it,
+    anything else through the reference scans of
+    :mod:`repro.service.queries`.  Returns the query's answer unchanged, so
+    equality of answers is equality of backend behaviour.
+    """
+    service = hasattr(backend, "nearest_objects")
+    if call.kind == "range":
+        half = workload.range_extent_m / 2.0
+        box = BoundingBox(call.cx - half, call.cy - half, call.cx + half, call.cy + half)
+        if service:
+            return backend.range_query(box, call.time, margin=workload.margin)
+        return range_query(backend, box, call.time, margin=workload.margin)
+    if call.kind == "nearest":
+        if service:
+            return backend.nearest_objects((call.cx, call.cy), call.time, k=workload.k)
+        return nearest_object_query(backend, (call.cx, call.cy), call.time, k=workload.k)
+    radius = workload.geofence_radius_m
+    if service:
+        return backend.geofence_query((call.cx, call.cy), radius, call.time)
+    return geofence_query(backend, (call.cx, call.cy), radius, call.time)
+
+
+def poisson_query_stream(
+    workload: "QueryWorkload", area: BoundingBox, start: float, end: float
+) -> List[QueryCall]:
+    """Materialise the workload's seeded Poisson query stream over [start, end].
+
+    Reproduces the event kernel's draw order exactly — one exponential
+    arrival gap, then the query's kind/centre draws, repeated until the
+    next arrival falls past *end* — so replaying the returned calls against
+    a backend issues the same queries, in the same order, at the same
+    simulated instants as ``FleetSimulation(kernel="event")`` with this
+    workload attached.  This is the serving tier's arrival process: the
+    load generator replays these calls against the live server on the wall
+    clock.
+    """
+    rate = workload.arrival_rate_per_s
+    if rate is None:
+        raise ValueError("workload has no Poisson arrival rate configured")
+    rng = random.Random(workload.seed)
+    weights = [float(workload.mix.get(kind, 0.0)) for kind in QUERY_KINDS]
+    calls: List[QueryCall] = []
+    t = start + rng.expovariate(rate)
+    while t <= end:
+        calls.append(_draw_call(rng, weights, area, t))
+        t += rng.expovariate(rate)
+    return calls
+
+
+@dataclass(frozen=True)
 class QueryWorkload:
     """A deterministic application-query stream.
 
@@ -182,9 +268,6 @@ class WorkloadExecutor:
         self._rng = random.Random(workload.seed)
         self._credit = 0.0
         self._weights = [float(workload.mix.get(kind, 0.0)) for kind in QUERY_KINDS]
-        # Capability dispatch (mirrors the fleet loop's ingest_batch duck
-        # typing): any backend exposing the indexed query surface gets it.
-        self._service = hasattr(backend, "nearest_objects")
 
     def on_tick(self, time: float) -> None:
         """Issue this tick's queries at simulation time *time*."""
@@ -231,37 +314,18 @@ class WorkloadExecutor:
         self._one_query(time)
 
     def _one_query(self, time: float) -> None:
-        rng = self._rng
-        workload = self.workload
-        kind = rng.choices(QUERY_KINDS, weights=self._weights)[0]
-        cx = rng.uniform(self.area.min_x, self.area.max_x)
-        cy = rng.uniform(self.area.min_y, self.area.max_y)
+        call = _draw_call(self._rng, self._weights, self.area, time)
         started = _time.perf_counter()
-        if kind == "range":
-            half = workload.range_extent_m / 2.0
-            box = BoundingBox(cx - half, cy - half, cx + half, cy + half)
-            if self._service:
-                answer = self.backend.range_query(box, time, margin=workload.margin)
-            else:
-                answer = range_query(self.backend, box, time, margin=workload.margin)
-        elif kind == "nearest":
-            if self._service:
-                answer = self.backend.nearest_objects((cx, cy), time, k=workload.k)
-            else:
-                answer = nearest_object_query(self.backend, (cx, cy), time, k=workload.k)
-        else:
-            radius = workload.geofence_radius_m
-            if self._service:
-                answer = self.backend.geofence_query((cx, cy), radius, time)
-            else:
-                answer = geofence_query(self.backend, (cx, cy), radius, time)
+        answer = execute_call(self.backend, self.workload, call)
         self.report.query_seconds += _time.perf_counter() - started
         self.report.queries += 1
         self.report.hits += len(answer)
-        self.report.by_kind[kind] = self.report.by_kind.get(kind, 0) + 1
-        self.report.hits_by_kind[kind] = self.report.hits_by_kind.get(kind, 0) + len(answer)
+        self.report.by_kind[call.kind] = self.report.by_kind.get(call.kind, 0) + 1
+        self.report.hits_by_kind[call.kind] = (
+            self.report.hits_by_kind.get(call.kind, 0) + len(answer)
+        )
         if self.record_answers:
-            self.answers.append((time, kind, answer))
+            self.answers.append((time, call.kind, answer))
 
 
 def default_query_mix(scenario_name: Optional[str]) -> Dict[str, float]:
