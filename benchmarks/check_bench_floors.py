@@ -46,8 +46,19 @@ _SPECS = {
         "flags": ["answers_identical"],
     },
     "BENCH_ingest.json": {
-        "floors": {"routing.speedup": "routing.required_speedup"},
+        "floors": {
+            "routing.speedup": "routing.required_speedup",
+            "cache_speedup": "required_cache_speedup",
+        },
         "flags": [],
+    },
+    "BENCH_bigmap.json": {
+        "floors": {"reference.speedup": "reference.required_speedup"},
+        "flags": [
+            "reference.costs_identical",
+            "reference.paths_identical",
+            "query.sub_ms_p50",
+        ],
     },
     "BENCH_megafleet.json": {
         "floors": {"realtime_factor_largest": "required_realtime"},

@@ -45,6 +45,28 @@ class Polyline:
     # construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
+    def from_array(cls, points: np.ndarray) -> "Polyline":
+        """Trusted constructor from an ``(n, 2)`` float array.
+
+        Skips the per-point coercion and finiteness checks of ``__init__``
+        — for callers whose geometry is already validated, such as the
+        compiled-map cache loading a document this process wrote.  The
+        resulting polyline is bit-identical to one built the slow way from
+        the same coordinates.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 2:
+            raise ValueError("a polyline needs an (n >= 2, 2) point array")
+        self = cls.__new__(cls)
+        self._points = pts
+        deltas = np.diff(pts, axis=0)
+        seg_lengths = np.hypot(deltas[:, 0], deltas[:, 1])
+        self._cumulative = np.concatenate(([0.0], np.cumsum(seg_lengths)))
+        self._length = float(self._cumulative[-1])
+        self._proj = None
+        return self
+
+    @classmethod
     def from_segments(cls, segments: Sequence[Segment]) -> "Polyline":
         """Build a polyline from consecutive segments (must share endpoints)."""
         if not segments:

@@ -30,6 +30,11 @@ from typing import Optional, Tuple, Union
 from repro.ingest.compact import CompiledMap, ConditioningReport, compile_roadmap
 from repro.ingest.osm import load_osm, project_network
 from repro.roadmap import io as roadmap_io
+from repro.roadmap.hierarchy import (
+    CH_FORMAT_VERSION,
+    ContractionHierarchy,
+    RoutingGraph,
+)
 
 #: Bumped whenever the pipeline's output could change for the same input;
 #: part of every cache key, so old entries are simply never hit again.
@@ -110,7 +115,11 @@ def _from_cache_file(path: Path, index_cell_size: float) -> Optional[CompiledMap
     """Load a cache entry; ``None`` when it is unreadable (then re-import)."""
     try:
         t0 = time.perf_counter()
-        roadmap = roadmap_io.load_roadmap(path, index_cell_size=index_cell_size)
+        # trusted: this process (or an earlier run of it) wrote the entry,
+        # keyed by content hash — re-validating every vertex is pure cost.
+        roadmap = roadmap_io.load_roadmap(
+            path, index_cell_size=index_cell_size, trusted=True
+        )
         seconds = time.perf_counter() - t0
         metadata = roadmap.metadata
         ingest = metadata.get("ingest", {})
@@ -177,3 +186,50 @@ def import_map(
     compiled.timings["cache_write_seconds"] = time.perf_counter() - t0
     compiled.cache_path = str(entry)
     return compiled
+
+
+# --------------------------------------------------------------------------- #
+# contraction-hierarchy sidecars
+# --------------------------------------------------------------------------- #
+def hierarchy_path(entry: Union[str, Path], weight: str) -> Path:
+    """The hierarchy sidecar next to a compiled-map cache entry.
+
+    The sidecar name embeds the CH format version and the weight, and the
+    entry name already embeds the content hash — so a changed extract, a
+    changed pipeline option or a changed hierarchy format each land on a
+    fresh sidecar, never a stale one.
+    """
+    entry = Path(entry)
+    return entry.with_name(f"{entry.stem}.ch{CH_FORMAT_VERSION}-{weight}.json")
+
+
+def load_or_build_hierarchy(
+    graph: RoutingGraph,
+    entry: Optional[Union[str, Path]] = None,
+    witness_settles: Optional[int] = None,
+) -> Tuple[ContractionHierarchy, bool]:
+    """A contraction hierarchy for *graph*, through the sidecar cache.
+
+    ``entry`` is the compiled-map cache entry the graph came from (e.g.
+    ``CompiledMap.cache_path``); ``None`` or an empty string skips
+    persistence and always builds.  Returns ``(hierarchy, cached)``.  A
+    sidecar that fails validation (different node set, different weight,
+    older format) is rebuilt and overwritten, mirroring the corrupt-entry
+    policy of :func:`import_map`.
+    """
+    sidecar = hierarchy_path(entry, graph.weight) if entry else None
+    if sidecar is not None and sidecar.exists():
+        try:
+            data = json.loads(sidecar.read_text(encoding="utf-8"))
+            return ContractionHierarchy.from_dict(graph, data), True
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            pass
+    hierarchy = ContractionHierarchy.build(graph, witness_settles=witness_settles)
+    if sidecar is not None:
+        sidecar.parent.mkdir(parents=True, exist_ok=True)
+        temporary = sidecar.with_suffix(f".tmp{os.getpid()}")
+        temporary.write_text(
+            json.dumps(hierarchy.to_dict(), separators=(",", ":")), encoding="utf-8"
+        )
+        temporary.replace(sidecar)
+    return hierarchy, False

@@ -75,11 +75,12 @@ class RoadMap:
             self._outgoing[link.from_node].append(link.id)
             self._incoming[link.to_node].append(link.id)
 
-        self._index: SpatialIndex[int] = GridIndex(cell_size=index_cell_size)
-        for link in self._links.values():
-            self._index.insert(
-                IndexedItem(key=link.id, bounds=link.bounds(), distance=link.distance_to)
-            )
+        # The spatial index is built lazily on the first spatial query:
+        # loading a compiled map from cache (and route planning generally)
+        # never touches it, and eager construction dominated cache-load
+        # time on large maps.
+        self._index_cell_size = index_cell_size
+        self._lazy_index: Optional[SpatialIndex[int]] = None
 
     # ------------------------------------------------------------------ #
     # element access
@@ -182,6 +183,21 @@ class RoadMap:
     # ------------------------------------------------------------------ #
     # spatial queries
     # ------------------------------------------------------------------ #
+    @property
+    def _index(self) -> SpatialIndex[int]:
+        """The spatial index over link geometry, built on first use."""
+        index = self._lazy_index
+        if index is None:
+            index = GridIndex(cell_size=self._index_cell_size)
+            for link in self._links.values():
+                index.insert(
+                    IndexedItem(
+                        key=link.id, bounds=link.bounds(), distance=link.distance_to
+                    )
+                )
+            self._lazy_index = index
+        return index
+
     def nearest_link(
         self, point: Vec2, max_distance: Optional[float] = None
     ) -> Optional[Tuple[Link, float]]:

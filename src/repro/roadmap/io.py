@@ -22,8 +22,11 @@ import json
 from pathlib import Path
 from typing import Union
 
+import numpy as np
+
+from repro.geo.polyline import Polyline
 from repro.roadmap.builder import RoadMapBuilder
-from repro.roadmap.elements import RoadClass
+from repro.roadmap.elements import Intersection, Link, RoadClass
 from repro.roadmap.graph import RoadMap
 
 #: Format version written into every file; bumped on incompatible changes.
@@ -62,12 +65,21 @@ def roadmap_to_dict(roadmap: RoadMap) -> dict:
     return document
 
 
-def roadmap_from_dict(data: dict, index_cell_size: float = 250.0) -> RoadMap:
+def roadmap_from_dict(
+    data: dict, index_cell_size: float = 250.0, trusted: bool = False
+) -> RoadMap:
     """Rebuild a :class:`RoadMap` from :func:`roadmap_to_dict` output.
 
     ``index_cell_size`` sizes the rebuilt spatial index — the index is a
     runtime structure, not part of the document, so a loader wanting
     non-default granularity passes it here (the compiled-map cache does).
+
+    ``trusted`` skips the per-point coercion, duplicate collapsing and
+    referential checks of the builder path and constructs elements
+    directly — only for documents this codebase itself wrote (the
+    compiled-map cache, keyed by content hash, qualifies; hand-edited maps
+    do not).  Both paths produce bit-identical maps for a document that
+    came out of :func:`roadmap_to_dict`.
 
     Raises
     ------
@@ -86,6 +98,8 @@ def roadmap_from_dict(data: dict, index_cell_size: float = 250.0) -> RoadMap:
             f"versions {supported}. Re-export the map (or re-run `repro "
             f"import-map`) to regenerate it in the current format."
         )
+    if trusted:
+        return _roadmap_from_trusted_dict(data, index_cell_size)
     builder = RoadMapBuilder(index_cell_size=index_cell_size)
     for node in data["intersections"]:
         builder.add_intersection((node["x"], node["y"]), node_id=int(node["id"]))
@@ -102,15 +116,65 @@ def roadmap_from_dict(data: dict, index_cell_size: float = 250.0) -> RoadMap:
     return builder.build(metadata=data.get("metadata"))
 
 
+def _roadmap_from_trusted_dict(data: dict, index_cell_size: float) -> RoadMap:
+    """The ``trusted=True`` fast path: direct element construction.
+
+    A document written by :func:`roadmap_to_dict` is already normalised —
+    endpoints exist, geometry is duplicate-free and finite — so the
+    dominant costs of the builder path (one ``as_vec`` per vertex, one
+    distance check per vertex pair) are pure re-verification.  Positions
+    still flow through ``float()``/``np.array`` so the arrays are the same
+    float64 values the slow path would produce.
+    """
+    intersections = []
+    position_of = {}
+    for node in data["intersections"]:
+        pos = np.array((float(node["x"]), float(node["y"])), dtype=float)
+        intersection = Intersection(id=int(node["id"]), position=pos)
+        intersections.append(intersection)
+        position_of[intersection.id] = intersection.position
+    links = []
+    for link in data["links"]:
+        from_node = int(link["from"])
+        to_node = int(link["to"])
+        shape = link.get("shape_points", ())
+        points = np.empty((len(shape) + 2, 2), dtype=float)
+        points[0] = position_of[from_node]
+        for i, (x, y) in enumerate(shape, start=1):
+            points[i] = (float(x), float(y))
+        points[-1] = position_of[to_node]
+        links.append(
+            Link(
+                id=int(link["id"]),
+                from_node=from_node,
+                to_node=to_node,
+                geometry=Polyline.from_array(points),
+                road_class=RoadClass(link.get("road_class", RoadClass.SECONDARY.value)),
+                speed_limit=float(link["speed_limit"]) if link.get("speed_limit") else None,
+                name=link.get("name", ""),
+            )
+        )
+    return RoadMap(
+        intersections,
+        links,
+        index_cell_size=index_cell_size,
+        metadata=data.get("metadata"),
+    )
+
+
 def save_roadmap(roadmap: RoadMap, path: Union[str, Path]) -> None:
     """Write *roadmap* to *path* as JSON."""
     path = Path(path)
     path.write_text(json.dumps(roadmap_to_dict(roadmap)), encoding="utf-8")
 
 
-def load_roadmap(path: Union[str, Path], index_cell_size: float = 250.0) -> RoadMap:
+def load_roadmap(
+    path: Union[str, Path], index_cell_size: float = 250.0, trusted: bool = False
+) -> RoadMap:
     """Read a road map previously written by :func:`save_roadmap`."""
     path = Path(path)
     return roadmap_from_dict(
-        json.loads(path.read_text(encoding="utf-8")), index_cell_size=index_cell_size
+        json.loads(path.read_text(encoding="utf-8")),
+        index_cell_size=index_cell_size,
+        trusted=trusted,
     )

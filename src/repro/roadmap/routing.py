@@ -2,15 +2,21 @@
 
 The mobility simulator drives objects along :class:`Route` objects, and the
 *dead-reckoning with known route* protocol (paper Sec. 2, citing Wolfson et
-al.) predicts positions along one.  The planner is a thin layer over
-``networkx`` shortest paths with either distance or travel-time weights.
+al.) predicts positions along one.  The planner owns two interchangeable
+engines over the same compact :class:`~repro.roadmap.hierarchy.RoutingGraph`:
+a tie-broken reference Dijkstra (``algo="dijkstra"``) and a contraction
+hierarchy (``algo="ch"``) whose offline preprocessing makes queries on
+metro-scale maps answer in well under a millisecond.  Both produce the
+identical canonical route: equal-cost ties are broken deterministically by
+an integer tie key derived from link endpoint node ids, compared
+lexicographically as ``(cost, key)``, so the optimum is unique.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -19,6 +25,12 @@ from repro.geo.polyline import Polyline
 from repro.geo.vec import Vec2
 from repro.roadmap.elements import Link
 from repro.roadmap.graph import RoadMap
+from repro.roadmap.hierarchy import (
+    ContractionHierarchy,
+    PlannedPath,
+    RoutingGraph,
+    dijkstra_path,
+)
 
 
 class Route:
@@ -175,20 +187,98 @@ class RoutePlanner:
     weight:
         Either ``"length"`` (shortest distance) or ``"travel_time"``
         (fastest, using link speed limits).
+    algo:
+        ``"dijkstra"`` answers each query with one tie-broken Dijkstra
+        run; ``"ch"`` preprocesses the map into a contraction hierarchy on
+        first use (or reuses an injected/cached one) and then answers each
+        query with a sub-millisecond bidirectional upward search.  Both
+        return the identical canonical route.
+    hierarchy:
+        Optionally, a prebuilt :class:`ContractionHierarchy` for this map
+        and weight (e.g. loaded from the compiled-map cache).  Only
+        consulted when ``algo="ch"``.
+    cache_entry:
+        Path of the compiled-map cache entry this map was loaded from
+        (``CompiledMap.cache_path``).  When set, the lazily built
+        hierarchy is persisted as a sidecar next to that entry through
+        :func:`repro.ingest.cache.load_or_build_hierarchy`, so the
+        preprocessing cost is paid once per content hash.
     """
 
     roadmap: RoadMap
     weight: str = "length"
-    _graph: nx.DiGraph = field(init=False, repr=False)
+    algo: str = "dijkstra"
+    hierarchy: Optional[ContractionHierarchy] = None
+    cache_entry: str = ""
+    _graph: RoutingGraph = field(init=False, repr=False)
+    _pair_link: Optional[Dict[Tuple[int, int], int]] = field(
+        init=False, repr=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if self.weight not in ("length", "travel_time"):
             raise ValueError("weight must be 'length' or 'travel_time'")
-        self._graph = self.roadmap.to_networkx()
+        if self.algo not in ("dijkstra", "ch"):
+            raise ValueError("algo must be 'dijkstra' or 'ch'")
+        self._graph = RoutingGraph.from_roadmap(self.roadmap, self.weight)
+        if self.hierarchy is not None:
+            if self.hierarchy.graph.weight != self.weight:
+                raise ValueError(
+                    f"hierarchy was built for weight "
+                    f"{self.hierarchy.graph.weight!r}, not {self.weight!r}"
+                )
+            if self.hierarchy.graph.node_ids != self._graph.node_ids:
+                raise ValueError("hierarchy does not match this road map")
+            # Requery through the planner's own graph so link lookups and
+            # cost re-accumulation share one link_info table.
+            self.hierarchy.graph = self._graph
 
     # ------------------------------------------------------------------ #
     # deterministic planning
     # ------------------------------------------------------------------ #
+    def build_hierarchy(self) -> ContractionHierarchy:
+        """The planner's contraction hierarchy, building it on first use."""
+        if self.hierarchy is None:
+            if self.cache_entry:
+                # Imported lazily: the cache module depends on the ingest
+                # pipeline, which this module must not import eagerly.
+                from repro.ingest.cache import load_or_build_hierarchy
+
+                self.hierarchy, _ = load_or_build_hierarchy(
+                    self._graph, self.cache_entry
+                )
+            else:
+                self.hierarchy = ContractionHierarchy.build(self._graph)
+            # Pre-expand the top-of-hierarchy shortcuts so the first long
+            # queries don't pay the one-off unpacking cost.
+            self.hierarchy.warm_expansions()
+        return self.hierarchy
+
+    def plan(self, from_node: int, to_node: int) -> PlannedPath:
+        """The canonical shortest path as ids, without building a Route.
+
+        Raises
+        ------
+        networkx.NodeNotFound
+            If either endpoint is not an intersection of the map.
+        networkx.NetworkXNoPath
+            If the destination is unreachable.
+        """
+        for node in (from_node, to_node):
+            if node not in self._graph.index_of and node not in self.roadmap.intersections:
+                raise nx.NodeNotFound(f"node {node} is not in the road map")
+        if from_node == to_node:
+            return PlannedPath(0.0, 0, [], nodes=[from_node])
+        if self.algo == "ch":
+            path = self.build_hierarchy().query(from_node, to_node)
+        else:
+            path = dijkstra_path(self._graph, from_node, to_node)
+        if path is None:
+            raise nx.NetworkXNoPath(
+                f"no route from node {from_node} to node {to_node}"
+            )
+        return path
+
     def shortest_route(self, from_node: int, to_node: int) -> Route:
         """Shortest route between two intersections.
 
@@ -197,21 +287,29 @@ class RoutePlanner:
         networkx.NetworkXNoPath
             If the destination is unreachable.
         """
-        node_path = nx.shortest_path(
-            self._graph, source=from_node, target=to_node, weight=self.weight
-        )
-        return self.route_from_nodes(node_path)
+        path = self.plan(from_node, to_node)
+        if not path.links:
+            raise ValueError("a route needs at least two nodes")
+        return self.route_from_links(path.links)
 
     def route_from_nodes(self, node_path: Sequence[int]) -> Route:
         """Build a route from a sequence of adjacent intersection ids."""
         if len(node_path) < 2:
             raise ValueError("a route needs at least two nodes")
+        pair_link = self._pair_link
+        if pair_link is None:
+            ids = self._graph.node_ids
+            pair_link = {
+                (ids[u], ids[v]): link
+                for link, (_w, _tie, u, v) in self._graph.link_info.items()
+            }
+            self._pair_link = pair_link
         links: List[Link] = []
         for a, b in zip(node_path, node_path[1:]):
-            data = self._graph.get_edge_data(a, b)
-            if data is None:
+            link_id = pair_link.get((a, b))
+            if link_id is None:
                 raise ValueError(f"nodes {a} and {b} are not connected by a link")
-            links.append(self.roadmap.link(data["link_id"]))
+            links.append(self.roadmap.link(link_id))
         return Route(self.roadmap, links)
 
     def route_from_links(self, link_ids: Sequence[int]) -> Route:

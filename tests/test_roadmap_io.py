@@ -48,6 +48,52 @@ class TestDictRoundtrip:
         assert json.loads(text)["format"] == "repro-roadmap"
 
 
+class TestTrustedLoad:
+    """The ``trusted=True`` fast path must be bit-identical to the builder
+    path for any document ``roadmap_to_dict`` wrote — the compiled-map
+    cache relies on it."""
+
+    def test_trusted_load_is_bit_identical(self):
+        original = freeway_map(length_km=12.0, seed=9)
+        data = json.loads(json.dumps(roadmap_to_dict(original)))
+        slow = roadmap_from_dict(data)
+        fast = roadmap_from_dict(data, trusted=True)
+        assert sorted(fast.intersections) == sorted(slow.intersections)
+        assert sorted(fast.links) == sorted(slow.links)
+        for node_id in slow.intersections:
+            assert (
+                fast.intersection(node_id).position.tolist()
+                == slow.intersection(node_id).position.tolist()
+            )
+        for link_id, twin in slow.links.items():
+            link = fast.link(link_id)
+            # exact equality, not approx: both paths must produce the same
+            # float64 bits from the same JSON document
+            assert link.geometry.points.tolist() == twin.geometry.points.tolist()
+            assert link.length == twin.length
+            assert link.travel_time() == twin.travel_time()
+            assert link.road_class == twin.road_class
+            assert link.speed_limit == twin.speed_limit
+            assert link.name == twin.name
+
+    def test_trusted_load_keeps_metadata_and_queries(self, tmp_path):
+        original = city_grid_map(rows=4, cols=4, seed=11)
+        path = tmp_path / "map.json"
+        save_roadmap(original, path)
+        rebuilt = load_roadmap(path, trusted=True)
+        assert rebuilt.num_links() == original.num_links()
+        probe = original.intersection(sorted(original.intersections)[3]).position
+        assert sorted(
+            link.id for link, _d in rebuilt.links_near(probe, 300.0)
+        ) == sorted(link.id for link, _d in original.links_near(probe, 300.0))
+
+    def test_trusted_load_still_validates_format(self):
+        with pytest.raises(ValueError):
+            roadmap_from_dict(
+                {"format": "something-else", "version": FORMAT_VERSION}, trusted=True
+            )
+
+
 class TestFileRoundtrip:
     def test_save_and_load(self, tmp_path):
         original = city_grid_map(rows=4, cols=3, seed=4)

@@ -145,3 +145,37 @@ class TestRoutePlanner:
         corner_a, _ = city.nearest_intersection((0.0, 0.0))
         with pytest.raises(nx.NetworkXException):
             planner.shortest_route(corner_a.id, 10_000)
+
+
+class TestDeterministicTieBreak:
+    """Equal-cost shortest paths must resolve identically on every engine.
+
+    The jitter-free city grid is maximally tie-rich: every monotone
+    staircase between two corners has the same length.  The canonical path
+    (lexicographically smallest under the per-link tie keys) is pinned
+    literally — any change to the tie-breaking scheme, in either engine,
+    shows up here before it can break CH==Dijkstra path identity.
+    """
+
+    def _nodes(self, route):
+        return [route.links[0].from_node] + [link.to_node for link in route.links]
+
+    def test_corner_to_corner_path_pinned(self, city, planner):
+        route = planner.shortest_route(0, 35)
+        assert self._nodes(route) == [0, 1, 2, 3, 4, 10, 16, 22, 28, 34, 35]
+
+    def test_interior_path_pinned(self, city, planner):
+        route = planner.shortest_route(2, 33)
+        assert self._nodes(route) == [2, 8, 14, 20, 26, 27, 33]
+
+    def test_replanning_is_stable(self, city):
+        first = RoutePlanner(city).shortest_route(0, 35)
+        second = RoutePlanner(city).shortest_route(0, 35)
+        assert [l.id for l in first.links] == [l.id for l in second.links]
+
+    def test_ch_returns_the_same_canonical_path(self, city, planner):
+        ch_planner = RoutePlanner(city, algo="ch")
+        for source, target in ((0, 35), (2, 33), (30, 5), (0, 7)):
+            expected = planner.shortest_route(source, target)
+            actual = ch_planner.shortest_route(source, target)
+            assert [l.id for l in actual.links] == [l.id for l in expected.links]

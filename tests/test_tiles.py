@@ -1,0 +1,159 @@
+"""Streaming tiled ingestion: store layout, lazy loading, graph identity.
+
+Two contracts matter here:
+
+1. **Tiling is invisible to the graph** — a routing graph streamed from a
+   tile store (`routing_links`) is element-for-element identical to the
+   one built from the merged :class:`RoadMap`, and the contraction
+   hierarchy on a tile-merged map still answers bit-identically to
+   Dijkstra.
+2. **Tiles load lazily and deterministically** — bbox queries touch only
+   overlapping tiles, the LRU keeps residency bounded, re-imports hit the
+   content-hash cache, and the synthetic region generator is byte-stable.
+"""
+
+import random
+
+import pytest
+
+from repro.geo.bbox import BoundingBox
+from repro.ingest.tiles import (
+    TileStore,
+    import_tiles,
+    stream_osm_to_tiles,
+    tile_cache_dir,
+    write_region_tiles,
+)
+from repro.roadmap.hierarchy import ContractionHierarchy, RoutingGraph, dijkstra_path
+
+MINIVILLE = "tests/data/miniville.osm"
+
+
+@pytest.fixture(scope="module")
+def miniville_store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("tiles")
+    return stream_osm_to_tiles(MINIVILLE, root / "miniville", tile_size_m=500.0)
+
+
+class TestStreamingImport:
+    def test_store_facts(self, miniville_store):
+        store = miniville_store
+        assert store.kind == "osm"
+        assert store.num_segments > 0
+        assert store.num_nodes > 0
+        assert len(store.tile_keys()) > 1  # the fixture spans several tiles
+
+    def test_streamed_graph_identical_to_merged_roadmap(self, miniville_store):
+        roadmap = miniville_store.to_roadmap()
+        streamed = RoutingGraph.from_links(
+            "length", list(miniville_store.routing_links("length"))
+        )
+        merged = RoutingGraph.from_roadmap(roadmap, "length")
+        assert streamed.node_ids == merged.node_ids
+        assert streamed.num_edges() == merged.num_edges()
+        for u in range(merged.num_nodes()):
+            assert streamed.out_edges[u] == merged.out_edges[u]
+
+    def test_segments_survive_round_trip(self, miniville_store):
+        # Re-tiling the merged segments reproduces counts exactly.
+        total = sum(1 for _ in miniville_store.iter_segments())
+        assert total == miniville_store.num_segments
+
+    def test_import_tiles_hits_content_hash_cache(self, tmp_path):
+        _, cached_first = import_tiles(MINIVILLE, tmp_path, tile_size_m=500.0)
+        _, cached_second = import_tiles(MINIVILLE, tmp_path, tile_size_m=500.0)
+        assert not cached_first and cached_second
+
+    def test_tiling_options_key_the_cache(self, tmp_path):
+        a = tile_cache_dir(MINIVILLE, tmp_path, tile_size_m=500.0)
+        b = tile_cache_dir(MINIVILLE, tmp_path, tile_size_m=1000.0)
+        assert a != b
+
+
+class TestLazyLoading:
+    def test_bbox_touches_only_overlapping_tiles(self, tmp_path):
+        store = stream_osm_to_tiles(MINIVILLE, tmp_path / "mv", tile_size_m=500.0)
+        box = BoundingBox(-200.0, -200.0, 200.0, 200.0)
+        keys = store.tiles_in_box(box)
+        assert 0 < len(keys) < len(store.tile_keys())
+        segments = store.segments_in_box(box)
+        assert segments
+        assert store.tiles_loaded == len(keys)
+
+    def test_lru_bounds_residency(self, tmp_path):
+        store = TileStore(
+            stream_osm_to_tiles(MINIVILLE, tmp_path / "mv", tile_size_m=300.0).root,
+            max_loaded_tiles=2,
+        )
+        keys = store.tile_keys()
+        assert len(keys) > 2
+        for tx, ty in keys:
+            store.load_tile(tx, ty)
+        assert len(store._cache) == 2
+        # Re-loading a resident tile is a cache hit, not a re-read.
+        loads = store.tiles_loaded
+        store.load_tile(*keys[-1])
+        assert store.tiles_loaded == loads
+
+    def test_roadmap_for_box_is_usable(self, miniville_store):
+        box = BoundingBox(-300.0, -300.0, 300.0, 300.0)
+        roadmap = miniville_store.roadmap_for_box(box)
+        assert roadmap.num_intersections() > 0
+        assert roadmap.metadata["clip"] == box.as_tuple()
+
+
+class TestCHAfterTileMerge:
+    @pytest.mark.parametrize("weight", ["length", "travel_time"])
+    def test_ch_equals_dijkstra_on_tile_merged_map(self, miniville_store, weight):
+        roadmap = miniville_store.to_roadmap()
+        graph = RoutingGraph.from_roadmap(roadmap, weight)
+        hierarchy = ContractionHierarchy.build(graph)
+        rng = random.Random(17)
+        ids = graph.node_ids
+        for _ in range(120):
+            source, target = rng.choice(ids), rng.choice(ids)
+            reference = dijkstra_path(graph, source, target)
+            candidate = hierarchy.query(source, target)
+            assert (reference is None) == (candidate is None)
+            if reference is not None:
+                assert candidate.cost == reference.cost
+                assert candidate.links == reference.links
+
+
+class TestSyntheticRegion:
+    def test_region_is_deterministic(self, tmp_path):
+        first = write_region_tiles(tmp_path / "a", 20, 24, tile_nodes=8)
+        second = write_region_tiles(tmp_path / "b", 20, 24, tile_nodes=8)
+        assert first.index["tiles"].keys() == second.index["tiles"].keys()
+        assert first.num_segments == second.num_segments
+        for tx, ty in first.tile_keys():
+            name = first.index["tiles"][f"{tx},{ty}"]["file"]
+            assert (first.root / name).read_bytes() == (second.root / name).read_bytes()
+
+    def test_region_shape(self, tmp_path):
+        store = write_region_tiles(tmp_path / "r", 20, 24, tile_nodes=8)
+        assert store.kind == "synthetic-region"
+        assert store.num_nodes == 20 * 24
+        # Two-way grid: one segment per adjacent pair.
+        assert store.num_segments == 19 * 24 + 20 * 23
+        assert store.index["region"]["nrows"] == 20
+
+    def test_region_graph_routes_correctly(self, tmp_path):
+        store = write_region_tiles(tmp_path / "r", 16, 16, tile_nodes=8)
+        graph = RoutingGraph.from_links(
+            "travel_time", list(store.routing_links("travel_time"))
+        )
+        hierarchy = ContractionHierarchy.build(graph)
+        rng = random.Random(23)
+        ids = graph.node_ids
+        for _ in range(60):
+            source, target = rng.choice(ids), rng.choice(ids)
+            reference = dijkstra_path(graph, source, target)
+            candidate = hierarchy.query(source, target)
+            assert reference is not None  # the grid is connected
+            assert candidate.cost == reference.cost
+            assert candidate.links == reference.links
+
+    def test_tiny_region_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_region_tiles(tmp_path / "r", 1, 5)
