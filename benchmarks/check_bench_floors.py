@@ -7,6 +7,8 @@ committed files and fails when
 
 * an achieved number sits below the floor recorded beside it (a perf
   regression was committed),
+* an achieved number sits above the ceiling recorded beside it (overhead
+  budgets, e.g. ``BENCH_obs.json``),
 * a recorded identity/equivalence flag is ``False`` (a correctness
   regression was committed),
 * an expected artifact is missing, or
@@ -31,7 +33,9 @@ from typing import List
 
 #: Per-artifact guard spec: ``floors`` maps an achieved metric (dotted
 #: path) to the recorded floor it must meet (dotted path into the same
-#: file); ``flags`` lists recorded booleans that must be true.
+#: file); ``ceilings`` maps an achieved metric to the recorded maximum it
+#: must stay at or below; ``flags`` lists recorded booleans that must be
+#: true.
 _SPECS = {
     "BENCH_event_kernel.json": {
         "floors": {"speedup": "required_speedup"},
@@ -71,6 +75,11 @@ _SPECS = {
         },
         "flags": ["answers_identical", "p99_nonzero"],
     },
+    "BENCH_obs.json": {
+        "floors": {},
+        "ceilings": {"overhead_pct": "max_overhead_pct"},
+        "flags": ["results_identical", "metrics_consistent"],
+    },
 }
 
 
@@ -94,7 +103,7 @@ def check_artifact(path: str, spec: dict) -> List[str]:
     except json.JSONDecodeError as exc:
         return [f"{name}: unreadable JSON ({exc})"]
     failures = []
-    for achieved_path, floor_path in spec["floors"].items():
+    for achieved_path, floor_path in spec.get("floors", {}).items():
         try:
             achieved = _lookup(record, achieved_path)
             floor = _lookup(record, floor_path)
@@ -105,6 +114,18 @@ def check_artifact(path: str, spec: dict) -> List[str]:
             failures.append(
                 f"{name}: {achieved_path} = {achieved} is below the recorded "
                 f"floor {floor_path} = {floor}"
+            )
+    for achieved_path, ceiling_path in spec.get("ceilings", {}).items():
+        try:
+            achieved = _lookup(record, achieved_path)
+            ceiling = _lookup(record, ceiling_path)
+        except KeyError as exc:
+            failures.append(f"{name}: missing key {exc.args[0]}")
+            continue
+        if achieved is None or achieved > ceiling:
+            failures.append(
+                f"{name}: {achieved_path} = {achieved} is above the recorded "
+                f"ceiling {ceiling_path} = {ceiling}"
             )
     for flag in spec["flags"]:
         try:

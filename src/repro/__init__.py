@@ -27,6 +27,8 @@ Quick start::
     print(run_simulation(linear, scenario.sensor_trace, scenario.true_trace).updates_per_hour)
 """
 
+import logging as _logging
+
 from repro import geo
 from repro import spatial
 from repro import roadmap
@@ -34,9 +36,14 @@ from repro import traces
 from repro import mobility
 from repro import mapmatching
 from repro import protocols
+from repro import obs
 from repro import service
 from repro import sim
 from repro import experiments
+
+#: Library convention: silent unless the application configures logging
+#: (the CLI's ``-v`` wires ``logging.basicConfig``).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -48,6 +55,7 @@ __all__ = [
     "mobility",
     "mapmatching",
     "protocols",
+    "obs",
     "service",
     "sim",
     "experiments",

@@ -13,6 +13,8 @@ writing any Python::
     repro fleet --mix rush_hour_city:map:100:25 --mix walking:linear:50:10 --scale 0.1
     repro fleet --mix rush_hour_city:linear:100:20 --mix mixed_rate_city:linear:100:80 --kernel event --scale 0.1
     repro fleet --mix city:linear:100:50 --shards 4 --scale 0.1
+    repro fleet --mix city:linear:100:50 --scale 0.1 --obs --obs-dir artifacts/obs
+    repro obs-report artifacts/obs
     repro query-bench --scenario rush_hour_city --count 50 --shards 4 --scale 0.1
     repro query-bench --scenario poisson_queries_freeway --kernel event --scale 0.1
     repro serve --mix city:linear:100:10 --scale 0.1 --port 7450
@@ -45,11 +47,17 @@ bit-identical for uniform sampling, tick-aligned latency and on-grid (or
 absent) protocol timer deadlines — off-grid timers (the ``time``
 protocol's usual case) fire at exact instants under the event kernel
 instead of being polled.
+
+``fleet``, ``serve`` and ``load-test`` accept ``--obs`` (and ``--obs-dir
+DIR``) to record metrics, spans and run provenance without changing any
+result bit — ``repro obs-report DIR`` pretty-prints what was written.  A
+global ``-v/--verbose`` (repeatable) turns on INFO/DEBUG logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import math
 import sys
 from typing import List, Optional, Sequence
@@ -139,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of ASCII tables"
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log INFO to stderr; repeat (-vv) for DEBUG",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_scale(p: argparse.ArgumentParser) -> None:
@@ -151,6 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--jobs", type=_positive_int, default=1,
             help="parallel worker processes for the sweep points (default 1)",
+        )
+
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--obs", action="store_true",
+            help="record metrics, wall-time spans and a kernel flight "
+                 "recorder for this run (results stay bit-identical; the "
+                 "metrics report prints to stderr unless --obs-dir is given)",
+        )
+        p.add_argument(
+            "--obs-dir", type=str, default=None, metavar="DIR",
+            help="write metrics.json / trace.json / manifest.json to DIR "
+                 "(implies --obs; trace.json opens in Perfetto)",
         )
 
     def add_kernel(p: argparse.ArgumentParser) -> None:
@@ -266,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_map_file(p_fleet)
     add_scale(p_fleet)
     add_kernel(p_fleet)
+    add_obs(p_fleet)
 
     p_qbench = subparsers.add_parser(
         "query-bench",
@@ -324,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=None, help="scenario seed override")
     add_scale(p_serve)
+    add_obs(p_serve)
 
     p_load = subparsers.add_parser(
         "load-test",
@@ -374,6 +401,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-seed", type=int, default=0, help="seed of the query stream (default 0)"
     )
     add_scale(p_load)
+    add_obs(p_load)
+
+    p_obs_report = subparsers.add_parser(
+        "obs-report",
+        help="pretty-print an observability directory written with --obs-dir",
+    )
+    p_obs_report.add_argument(
+        "directory",
+        help="directory holding metrics.json / trace.json / manifest.json "
+             "(a path to one of those files also works)",
+    )
 
     p_import = subparsers.add_parser(
         "import-map",
@@ -471,6 +509,27 @@ def _emit(args, rows, title: str) -> None:
         print(to_json(rows))
     else:
         print(format_table(rows, title=title))
+
+
+def _build_obs(args):
+    """The run's :class:`~repro.obs.Observability` bundle, or ``None``."""
+    if not (getattr(args, "obs", False) or getattr(args, "obs_dir", None)):
+        return None
+    from repro.obs import Observability
+
+    return Observability()
+
+
+def _finish_obs(args, obs, config, seed=None, timings=None) -> None:
+    """Write (or print) what the bundle recorded; stderr keeps --json clean."""
+    if obs is None:
+        return
+    if args.obs_dir:
+        paths = obs.write(args.obs_dir, seed=seed, config=config, timings=timings)
+        for kind in sorted(paths):
+            print(f"wrote {kind}: {paths[kind]}", file=sys.stderr)
+    else:
+        print(obs.registry.render(), file=sys.stderr)
 
 
 def _cmd_table1(args) -> int:
@@ -628,6 +687,7 @@ def _cmd_fleet(args) -> int:
             n_shards=args.shards,
             region_size=auto_region_size(lanes, args.shards),
         )
+    obs = _build_obs(args)
     if args.columnar:
         from repro.sim.columnar import ColumnarFleetEngine
 
@@ -642,11 +702,25 @@ def _cmd_fleet(args) -> int:
         if reason is not None:
             print(f"error: fleet is not columnar-eligible: {reason}", file=sys.stderr)
             return 2
-        fleet = ColumnarFleetEngine.from_lanes(lanes).run()
+        fleet = ColumnarFleetEngine.from_lanes(lanes, obs=obs).run()
     else:
         fleet = FleetSimulation(
-            lanes, server=server, kernel=args.kernel, processes=args.processes
+            lanes, server=server, kernel=args.kernel, processes=args.processes, obs=obs
         ).run()
+    _finish_obs(
+        args,
+        obs,
+        config={
+            "command": "fleet",
+            "mix": list(args.mix),
+            "scale": args.scale,
+            "kernel": args.kernel,
+            "shards": args.shards,
+            "processes": args.processes,
+            "columnar": bool(args.columnar),
+        },
+        seed=args.seed,
+    )
     title = f"Fleet of {len(lanes)} objects (scale {args.scale:g})"
     if args.kernel != "tick":
         title += f", {args.kernel} kernel"
@@ -764,12 +838,15 @@ def _cmd_serve(args) -> int:
         region_size=auto_region_size(lanes, args.shards),
     )
 
+    obs = _build_obs(args)
+
     async def _serve() -> None:
         server = LiveLocationServer(
             service,
             host=args.host,
             port=args.port,
             ingest_queue_size=args.queue_size,
+            obs=obs,
         )
         host, port = await server.start()
         print(
@@ -784,6 +861,18 @@ def _cmd_serve(args) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
+    _finish_obs(
+        args,
+        obs,
+        config={
+            "command": "serve",
+            "mix": list(args.mix),
+            "scale": args.scale,
+            "shards": args.shards,
+            "queue_size": args.queue_size,
+        },
+        seed=args.seed,
+    )
     return 0
 
 
@@ -819,27 +908,50 @@ def _cmd_load_test(args) -> int:
         file=sys.stderr,
     )
 
+    obs = _build_obs(args)
+
     async def _drive() -> "object":
         if args.connect:
             host, _, port_text = args.connect.rpartition(":")
             return await run_load_test(
                 plan, host, int(port_text),
                 clients=args.clients, mode=args.mode, wait=not args.no_wait,
+                obs=obs,
             )
         server = LiveLocationServer(
             service_for_plan(plan, n_shards=args.shards),
             ingest_queue_size=args.queue_size,
+            obs=obs,
         )
         host, port = await server.start()
         try:
             return await run_load_test(
                 plan, host, port,
                 clients=args.clients, mode=args.mode, wait=not args.no_wait,
+                obs=obs,
             )
         finally:
             await server.stop()
 
     report = asyncio.run(_drive())
+    _finish_obs(
+        args,
+        obs,
+        config={
+            "command": "load-test",
+            "mix": list(args.mix),
+            "scale": args.scale,
+            "mode": args.mode,
+            "clients": args.clients,
+            "rate": args.rate,
+            "shards": args.shards,
+            "queue_size": args.queue_size,
+            "wait": not args.no_wait,
+            "query_seed": args.query_seed,
+        },
+        seed=args.seed,
+        timings={"wall_seconds": report.wall_seconds},
+    )
     summary = report.as_dict()
     if args.json:
         print(to_json(summary))
@@ -872,6 +984,78 @@ def _cmd_load_test(args) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _cmd_obs_report(args) -> int:
+    import json as _json
+    import os
+
+    from repro.obs.trace import validate_chrome_trace
+
+    directory = args.directory
+    if directory.endswith(".json"):
+        directory = os.path.dirname(directory) or "."
+
+    def _load(name: str):
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as fh:
+            return _json.load(fh)
+
+    metrics = _load("metrics.json")
+    manifest = _load("manifest.json")
+    trace = _load("trace.json")
+    if metrics is None and manifest is None and trace is None:
+        print(
+            f"error: no metrics.json / trace.json / manifest.json under {directory!r}",
+            file=sys.stderr,
+        )
+        return 2
+    problems = validate_chrome_trace(trace) if trace is not None else []
+    if args.json:
+        print(to_json({
+            "directory": directory,
+            "manifest": manifest,
+            "metrics": (metrics or {}).get("metrics"),
+            "trace_events": len(trace.get("traceEvents", [])) if trace else 0,
+            "trace_problems": problems,
+        }))
+        return 1 if problems else 0
+    if manifest is not None:
+        git = manifest.get("git", {})
+        sha = git.get("sha") or "unknown"
+        dirty = "+dirty" if git.get("dirty") else ""
+        rows = [{
+            "git": f"{str(sha)[:12]}{dirty}",
+            "seed": manifest.get("seed"),
+            "config_hash": str(manifest.get("config_hash", ""))[:12],
+            "python": manifest.get("python", ""),
+            "numpy": manifest.get("numpy"),
+        }]
+        print(format_table(rows, title=f"Provenance ({directory})"))
+        print()
+    if metrics is not None:
+        # Re-render the stored snapshot through a fresh registry-style table.
+        snapshot = metrics.get("metrics", {})
+        rows = []
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            rows.append({
+                "metric": name,
+                "kind": entry.get("kind", ""),
+                "deterministic": entry.get("deterministic", False),
+                "value": entry.get("value", entry.get("count", "")),
+            })
+        print(format_table(rows, title="Metrics"))
+        print()
+    if trace is not None:
+        verdict = "valid" if not problems else f"INVALID: {'; '.join(problems)}"
+        print(
+            f"trace.json: {len(trace.get('traceEvents', []))} events, {verdict} "
+            "(open in Perfetto / chrome://tracing)"
+        )
+    return 1 if problems else 0
 
 
 def _cmd_import_map(args) -> int:
@@ -1032,6 +1216,7 @@ _COMMANDS = {
     "query-bench": _cmd_query_bench,
     "serve": _cmd_serve,
     "load-test": _cmd_load_test,
+    "obs-report": _cmd_obs_report,
     "import-map": _cmd_import_map,
     "route": _cmd_route,
     "generate-map": _cmd_generate_map,
@@ -1040,10 +1225,25 @@ _COMMANDS = {
 }
 
 
+def _configure_logging(verbosity: int) -> None:
+    """Wire ``-v`` to the root logger; WARNING stays the silent default."""
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    logging.basicConfig(
+        level=level,
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     return _COMMANDS[args.command](args)
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import time
 from pathlib import Path
@@ -35,6 +36,8 @@ from repro.roadmap.hierarchy import (
     ContractionHierarchy,
     RoutingGraph,
 )
+
+_logger = logging.getLogger(__name__)
 
 #: Bumped whenever the pipeline's output could change for the same input;
 #: part of every cache key, so old entries are simply never hit again.
@@ -126,9 +129,16 @@ def _from_cache_file(path: Path, index_cell_size: float) -> Optional[CompiledMap
         origin = metadata.get("origin", {})
         report = ConditioningReport(**ingest.get("conditioning", {}))
         origin_pair = (float(origin.get("lat", 0.0)), float(origin.get("lon", 0.0)))
-    except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+    except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
         # Hand-edited, truncated or schema-stale entries are rebuilt, as
-        # import_map promises.
+        # import_map promises — but loudly, so a persistently corrupt cache
+        # (rebuilding every run) is visible.
+        _logger.warning(
+            "corrupt compiled-map cache entry %s (%s: %s); re-importing",
+            path,
+            type(exc).__name__,
+            exc,
+        )
         return None
     return CompiledMap(
         roadmap=roadmap,
@@ -222,8 +232,13 @@ def load_or_build_hierarchy(
         try:
             data = json.loads(sidecar.read_text(encoding="utf-8"))
             return ContractionHierarchy.from_dict(graph, data), True
-        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
-            pass
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+            _logger.warning(
+                "corrupt hierarchy sidecar %s (%s: %s); rebuilding",
+                sidecar,
+                type(exc).__name__,
+                exc,
+            )
     hierarchy = ContractionHierarchy.build(graph, witness_settles=witness_settles)
     if sidecar is not None:
         sidecar.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,91 @@
+"""Run provenance: who produced this artifact, from what, with what.
+
+Every number the reproduction publishes — sweep artifacts, benchmark
+records, obs metric dumps — should carry enough context to be re-run:
+the git commit (and whether the tree was dirty), the seed, a content hash
+of the configuration, and the toolchain versions.  :func:`build_manifest`
+assembles that block; ``SweepRunner`` stamps it into artifacts under a
+top-level ``"provenance"`` key (never inside ``metadata``, which belongs
+to the caller and is compared exactly by tests).
+
+The config hash is a SHA-256 over the canonical JSON encoding of the
+configuration (sorted keys, compact separators), so two runs with equal
+configuration hash equal regardless of dict ordering — and a one-knob
+difference is immediately visible as a different hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import time
+from typing import Dict, Mapping, Optional
+
+try:  # numpy is a hard dependency of the sim, but the manifest never fails
+    import numpy as _np
+
+    _NUMPY_VERSION: Optional[str] = _np.__version__
+except Exception:  # pragma: no cover - defensive
+    _NUMPY_VERSION = None
+
+
+def git_revision(cwd: Optional[str] = None) -> Dict[str, object]:
+    """The current git commit — ``{"sha": ..., "dirty": ...}``.
+
+    ``sha`` is ``None`` outside a work tree (artifacts from an installed
+    package still get a manifest, just without a commit).
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=10,
+            check=True,
+        ).stdout
+        return {"sha": sha, "dirty": bool(status.strip())}
+    except Exception:
+        return {"sha": None, "dirty": None}
+
+
+def config_hash(config: Mapping[str, object]) -> str:
+    """SHA-256 of the canonical JSON encoding of *config*."""
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def build_manifest(
+    seed: Optional[int] = None,
+    config: Optional[Mapping[str, object]] = None,
+    timings: Optional[Mapping[str, float]] = None,
+    cwd: Optional[str] = None,
+) -> Dict[str, object]:
+    """Assemble the provenance block stamped into artifacts."""
+    manifest: Dict[str, object] = {
+        "schema": 1,
+        "created_unix": round(time.time(), 3),
+        "git": git_revision(cwd=cwd),
+        "python": platform.python_version(),
+        "numpy": _NUMPY_VERSION,
+        "platform": platform.platform(),
+        "seed": seed,
+    }
+    if config is not None:
+        manifest["config"] = dict(config)
+        manifest["config_hash"] = config_hash(config)
+    if timings:
+        manifest["timings"] = {k: round(float(v), 6) for k, v in timings.items()}
+    return manifest

@@ -115,6 +115,13 @@ class LocationService:
         ]
         self.loads: List[ShardLoad] = [ShardLoad(shard_id=s) for s in range(n_shards)]
         self.counters = QueryCounters()
+        #: Optional :class:`~repro.obs.Observability`.  When attached (by
+        #: the caller, or inherited from a ``FleetSimulation`` run) the
+        #: facade records per-query-class latencies, ingest batch sizes and
+        #: rebalance timings; the per-shard load counters themselves reach
+        #: the registry through ``publish_service_stats`` at the end of a
+        #: run.  ``None`` (the default) records nothing.
+        self.obs = None
         self._records: Dict[str, TrackedObject] = {}
         self._home: Dict[str, int] = {}
         self._prepared_time: Optional[float] = None
@@ -127,6 +134,14 @@ class LocationService:
     def n_shards(self) -> int:
         """Number of shards."""
         return len(self.shards)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Observability never crosses process boundaries: a worker replica
+        # builds its own bundle, and pickling the parent's would duplicate
+        # whatever it already recorded.
+        state = self.__dict__.copy()
+        state["obs"] = None
+        return state
 
     # ------------------------------------------------------------------ #
     # LocationServer-compatible surface
@@ -229,6 +244,11 @@ class LocationService:
             self.loads[home].updates += 1
         self._dirty = True
         self.counters.batches_ingested += 1
+        if self.obs is not None:
+            self.obs.histogram(
+                "service.ingest.batch_size",
+                bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256, 1024),
+            ).observe(len(messages))
         for object_id in dict.fromkeys(object_id for object_id, _ in messages):
             self._rehome(object_id, time)
 
@@ -262,10 +282,16 @@ class LocationService:
         """
         if self.n_shards <= 1:
             return 0
+        started = _time.perf_counter()
         before = sum(load.handoffs_in for load in self.loads)
         for object_id in list(self._records):
             self._rehome(object_id, time)
-        return sum(load.handoffs_in for load in self.loads) - before
+        moved = sum(load.handoffs_in for load in self.loads) - before
+        if self.obs is not None:
+            self.obs.latency("service.rebalance.seconds").record(
+                _time.perf_counter() - started
+            )
+        return moved
 
     # ------------------------------------------------------------------ #
     # query engine maintenance
@@ -335,7 +361,10 @@ class LocationService:
                 if effective.contains_point(engine.position_of(object_id)):
                     hits.append(object_id)
         self.counters.range_queries += 1
-        self.counters.query_seconds += _time.perf_counter() - started
+        elapsed = _time.perf_counter() - started
+        self.counters.query_seconds += elapsed
+        if self.obs is not None:
+            self.obs.latency("service.query.range").record(elapsed)
         return sorted(hits)
 
     def nearest_objects(
@@ -357,7 +386,10 @@ class LocationService:
         self.prepare(time)
         answer = self._k_nearest_merged(as_vec(point), k)
         self.counters.nearest_queries += 1
-        self.counters.query_seconds += _time.perf_counter() - started
+        elapsed = _time.perf_counter() - started
+        self.counters.query_seconds += elapsed
+        if self.obs is not None:
+            self.obs.latency("service.query.nearest").record(elapsed)
         return answer
 
     def _k_nearest_merged(self, p: np.ndarray, k: int) -> List[Tuple[str, float]]:
@@ -406,7 +438,10 @@ class LocationService:
                 merged.extend(self.engines[shard_id].within_radius(p, radius))
         merged.sort(key=lambda pair: (pair[1], pair[0]))
         self.counters.geofence_queries += 1
-        self.counters.query_seconds += _time.perf_counter() - started
+        elapsed = _time.perf_counter() - started
+        self.counters.query_seconds += elapsed
+        if self.obs is not None:
+            self.obs.latency("service.query.geofence").record(elapsed)
         return merged
 
     # ------------------------------------------------------------------ #

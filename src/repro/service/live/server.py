@@ -30,17 +30,32 @@ assert the answers bit-identical.
 The wire protocol is length-prefixed JSON
 (:mod:`repro.service.live.protocol`).  Requests are JSON objects with an
 ``"op"`` key: ``ping``, ``register``, ``ingest``, ``range``, ``nearest``,
-``geofence``, ``stats``, ``shutdown``.  Responses carry ``"ok"`` plus
-op-specific fields, or ``"ok": false`` with an ``"error"`` message (the
-connection survives request errors; framing errors close it).
+``geofence``, ``stats``, ``metrics``, ``shutdown``.  Responses carry
+``"ok"`` plus op-specific fields, or ``"ok": false`` with an ``"error"``
+message (the connection survives request errors; framing errors close it).
+
+Observability
+-------------
+With an :class:`~repro.obs.Observability` bundle attached the server
+records a per-op latency distribution, the ingest queue depth at each
+accepted batch, the shed count and the watermark lag
+(``enqueued_seq - at_seq``) observed by queries.  The ``metrics`` op
+exposes the registry over the wire — as a JSON snapshot *and* as
+Prometheus text exposition — and works without a bundle too (server
+counters only, published as gauges at request time).  Shed-load
+rejections additionally log a warning through the module logger.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
+import time as _time
 from typing import Dict, List, Optional, Tuple
 
 from repro.geo.bbox import BoundingBox
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
 from repro.protocols.prediction import LinearPrediction, StaticPrediction
 from repro.service.facade import LocationService
 from repro.service.live.protocol import (
@@ -50,6 +65,8 @@ from repro.service.live.protocol import (
     read_frame,
     write_frame,
 )
+
+_logger = logging.getLogger(__name__)
 
 #: Prediction functions a client may register over the wire.  Scenario
 #: fleets with richer predictions (map-based, known-route) are registered
@@ -79,6 +96,11 @@ class LiveLocationServer:
         Bound of the ingest queue, in batches.  This is the backpressure
         knob: small values make waiting/rejection observable under load,
         large values absorb bigger bursts.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  When attached
+        the server records per-op latencies, queue depth, shed counts and
+        watermark lag (see the module docstring); when ``None`` the only
+        instrumentation cost is one attribute check per request.
     """
 
     def __init__(
@@ -87,12 +109,18 @@ class LiveLocationServer:
         host: str = "127.0.0.1",
         port: int = 0,
         ingest_queue_size: int = 64,
+        obs: Optional[Observability] = None,
     ):
         if ingest_queue_size < 1:
             raise ValueError("ingest_queue_size must be at least 1")
         self.service = service if service is not None else LocationService()
         self.host = host
         self.port = port
+        self.obs = obs
+        if obs is not None and getattr(self.service, "obs", False) is None:
+            # Share the bundle with the facade so its ingest/query
+            # instruments land in the same registry the metrics op serves.
+            self.service.obs = obs
         self.ingest_queue_size = int(ingest_queue_size)
         self._queue: Optional[asyncio.Queue] = None
         self._applied_cond: Optional[asyncio.Condition] = None
@@ -125,6 +153,12 @@ class LiveLocationServer:
         self._server = await asyncio.start_server(self._on_connection, self.host, self.port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        _logger.info(
+            "live server listening on %s:%d (ingest queue %d batches)",
+            self.host,
+            self.port,
+            self.ingest_queue_size,
+        )
         return self.host, self.port
 
     async def stop(self, grace: float = 5.0) -> None:
@@ -153,6 +187,11 @@ class LiveLocationServer:
         await self._writer_task
         self._server = None
         self._writer_task = None
+        _logger.info(
+            "live server stopped (applied %d batches, rejected %d)",
+            self.applied_seq,
+            self.rejected_batches,
+        )
 
     async def run_until_shutdown(self) -> None:
         """Serve until a client sends the ``shutdown`` op, then stop."""
@@ -203,12 +242,19 @@ class LiveLocationServer:
                     break
                 op = str(request.get("op", ""))
                 self.op_counts[op] = self.op_counts.get(op, 0) + 1
+                started = _time.perf_counter() if self.obs is not None else 0.0
                 try:
                     response = await self._dispatch(op, request)
                 except asyncio.CancelledError:
                     raise
                 except Exception as exc:  # noqa: BLE001 — survive request errors
                     response = {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+                if self.obs is not None:
+                    # Latency includes any watermark wait — that is the
+                    # client-observed service time, which is the point.
+                    self.obs.latency(f"live.op.{op}").record(
+                        _time.perf_counter() - started
+                    )
                 await write_frame(writer, response)
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -234,6 +280,8 @@ class LiveLocationServer:
             return await self._handle_query(op, request)
         if op == "stats":
             return self._handle_stats()
+        if op == "metrics":
+            return self._handle_metrics()
         if op == "shutdown":
             self.shutdown_requested.set()
             return {"ok": True, "op": "shutdown"}
@@ -281,6 +329,17 @@ class LiveLocationServer:
         wait = bool(request.get("wait", True))
         if not wait and self._queue.full():
             self.rejected_batches += 1
+            _logger.warning(
+                "shed ingest batch of %d updates at t=%g: queue full "
+                "(%d/%d batches, %d rejected so far)",
+                len(batch),
+                time,
+                self._queue.qsize(),
+                self.ingest_queue_size,
+                self.rejected_batches,
+            )
+            if self.obs is not None:
+                self.obs.counter("live.ingest.rejected", deterministic=False).inc()
             return {
                 "ok": False,
                 "op": "ingest",
@@ -294,6 +353,11 @@ class LiveLocationServer:
         self.enqueued_seq += 1
         seq = self.enqueued_seq
         await self._queue.put((seq, time, batch))
+        if self.obs is not None:
+            self.obs.counter("live.ingest.accepted", deterministic=False).inc()
+            self.obs.histogram(
+                "live.ingest.queue_depth", bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128)
+            ).observe(self._queue.qsize())
         return {
             "ok": True,
             "op": "ingest",
@@ -320,6 +384,11 @@ class LiveLocationServer:
         # No await between here and the facade call: at_seq is exactly the
         # ingestion state the answer was computed against.
         at_seq = self.applied_seq
+        if self.obs is not None:
+            # How far the writer trails the accept path, as seen by queries.
+            self.obs.histogram(
+                "live.query.watermark_lag", bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128)
+            ).observe(self.enqueued_seq - at_seq)
         if op == "range":
             box = [float(v) for v in request["box"]]
             answer = self.service.range_query(
@@ -350,6 +419,34 @@ class LiveLocationServer:
                 "op_counts": dict(self.op_counts),
                 "connections": len(self._conn_tasks),
             },
+        }
+
+    def _handle_metrics(self) -> Dict[str, object]:
+        """Expose the metrics registry over the wire.
+
+        With an observability bundle attached this returns everything the
+        server has recorded (latencies, queue depths, shed counts, plus
+        whatever the facade contributed); without one it still answers
+        usefully from a fresh registry.  Server counters are published as
+        gauges at request time either way — seqs and op counts are
+        monotone, so ``max``-mode gauges track their current value, and
+        ``queue_depth``/``connections`` read as high watermarks.
+        """
+        registry = self.obs.registry if self.obs is not None else MetricsRegistry()
+        registry.gauge("live.server.enqueued_seq").set(self.enqueued_seq)
+        registry.gauge("live.server.applied_seq").set(self.applied_seq)
+        registry.gauge("live.server.ingest_queue_depth").set(self.ingest_queue_depth)
+        registry.gauge("live.server.ingest_queue_size").set(self.ingest_queue_size)
+        registry.gauge("live.server.rejected_batches").set(self.rejected_batches)
+        registry.gauge("live.server.connections").set(len(self._conn_tasks))
+        for op, count in sorted(self.op_counts.items()):
+            registry.gauge(f"live.server.op_count.{op}").set(count)
+        return {
+            "ok": True,
+            "op": "metrics",
+            "enabled": self.obs is not None,
+            "metrics": registry.snapshot(),
+            "prometheus": registry.to_prometheus(),
         }
 
 

@@ -12,63 +12,15 @@ wall-clock durations and reduces them to the metrics the benchmark and the
 * **saturation throughput** — completed requests divided by the wall-clock
   span of the run that issued them (reported by the load generator, not
   here).
+
+The implementation lives in :mod:`repro.obs.metrics` — the repository's
+one latency/percentile instrument, shared with the metrics registry and
+the benchmarks — and is re-exported here so the live tier's historical
+import path keeps working.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Sequence
+from repro.obs.metrics import LatencyRecorder, nearest_rank
 
-
-class LatencyRecorder:
-    """Collects wall-clock request latencies (seconds) and summarises them."""
-
-    __slots__ = ("_samples",)
-
-    def __init__(self, samples: Sequence[float] = ()):
-        self._samples: List[float] = [float(s) for s in samples]
-
-    def record(self, seconds: float) -> None:
-        """Add one request's wall-clock duration."""
-        self._samples.append(float(seconds))
-
-    def merge(self, other: "LatencyRecorder") -> None:
-        """Fold another recorder's samples into this one."""
-        self._samples.extend(other._samples)
-
-    def __len__(self) -> int:
-        return len(self._samples)
-
-    @property
-    def total_seconds(self) -> float:
-        """Sum of all recorded durations."""
-        return sum(self._samples)
-
-    def mean(self) -> float:
-        """Arithmetic mean latency in seconds (``0.0`` when empty)."""
-        return sum(self._samples) / len(self._samples) if self._samples else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile in seconds (``0.0`` when empty)."""
-        if not self._samples:
-            return 0.0
-        if not 0.0 < q <= 100.0:
-            raise ValueError("q must be in (0, 100]")
-        ordered = sorted(self._samples)
-        rank = math.ceil(q / 100.0 * len(ordered))
-        return ordered[rank - 1]
-
-    def summary(self) -> Dict[str, float]:
-        """The reported metrics, in milliseconds (rounded to 0.1 us)."""
-
-        def ms(seconds: float) -> float:
-            return round(seconds * 1e3, 4)
-
-        return {
-            "count": len(self._samples),
-            "avg_ms": ms(self.mean()),
-            "p50_ms": ms(self.percentile(50.0)),
-            "p95_ms": ms(self.percentile(95.0)),
-            "p99_ms": ms(self.percentile(99.0)),
-            "max_ms": ms(max(self._samples)) if self._samples else 0.0,
-        }
+__all__ = ["LatencyRecorder", "nearest_rank"]

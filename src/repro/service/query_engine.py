@@ -26,6 +26,7 @@ which the test-suite asserts.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -40,6 +41,8 @@ from repro.spatial.index import IndexedItem
 #: cost); above it the first sync of a cold engine goes through
 #: :meth:`GridIndex.rebuild` in one pass.
 _BULK_SYNC_THRESHOLD = 256
+
+_logger = logging.getLogger(__name__)
 
 
 class QueryEngine:
@@ -147,6 +150,9 @@ class QueryEngine:
             )
         self._index.rebuild(items)
         moved = len(items)
+        _logger.debug(
+            "bulk sync: rebuilt index with %d objects at t=%g", moved, time
+        )
         self.synced_time = float(time)
         self.syncs += 1
         self.moves += moved

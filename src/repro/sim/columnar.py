@@ -253,6 +253,7 @@ class ColumnarFleetEngine:
         object_ids: Optional[Sequence[str]] = None,
         protocol_name: Optional[str] = None,
         count_initial_update: bool = True,
+        obs=None,
     ):
         if mode not in (STATIC, LINEAR):
             raise ValueError(f"mode must be 'static' or 'linear', got {mode!r}")
@@ -288,6 +289,12 @@ class ColumnarFleetEngine:
                 else LinearPredictionProtocol.name
             )
         self.protocol_name = protocol_name
+        #: Optional :class:`~repro.obs.Observability`; the run records the
+        #: same deterministic ``sim.*`` counters the scalar fleet loop
+        #: records (the columnar engine is bit-identical to it, so the
+        #: counts agree), plus estimate/loop phase spans.  Aggregate-only:
+        #: nothing is recorded per instant, so obs-on overhead is noise.
+        self.obs = obs
 
     # ------------------------------------------------------------------ #
     # lane-based construction and eligibility
@@ -337,7 +344,9 @@ class ColumnarFleetEngine:
         return None
 
     @classmethod
-    def from_lanes(cls, lanes, count_initial_update: bool = True) -> "ColumnarFleetEngine":
+    def from_lanes(
+        cls, lanes, count_initial_update: bool = True, obs=None
+    ) -> "ColumnarFleetEngine":
         """Build the engine from :class:`~repro.sim.fleet.FleetLane`\\ s.
 
         Raises ``ValueError`` with the :meth:`ineligibility` reason when the
@@ -370,6 +379,7 @@ class ColumnarFleetEngine:
             object_ids=[lane.object_id for lane in lanes],
             protocol_name=first.name,
             count_initial_update=count_initial_update,
+            obs=obs,
         )
 
     # ------------------------------------------------------------------ #
@@ -390,10 +400,19 @@ class ColumnarFleetEngine:
         times = self.times
         n, t_count = store.n, len(times)
         linear = self.mode == LINEAR
+        obs = self.obs
+        estimate_span = None if obs is None else obs.span(
+            "columnar.estimate", cat="sim", args={"lanes": n, "samples": t_count}
+        )
         if linear:
             velocities, _speeds = estimate_traces(
                 times, self.sensor, self.estimation_window
             )
+        if estimate_span is not None:
+            estimate_span.close()
+        loop_span = None if obs is None else obs.span(
+            "columnar.loop", cat="sim", args={"lanes": n, "samples": t_count}
+        )
         threshold_counts = np.zeros(n, dtype=np.int64)
         errors = np.empty((n, t_count))
         us = store.accuracy
@@ -444,12 +463,28 @@ class ColumnarFleetEngine:
             ex = srv_x - truth[:, i, 0]
             ey = srv_y - truth[:, i, 1]
             errors[:, i] = np.sqrt(ex * ex + ey * ey)
+        if loop_span is not None:
+            loop_span.close()
         store.position[:] = sensor[:, -1, :]
         store.has_report[:] = True
         updates = threshold_counts + 1
         store.sequence[:] = updates
         store.updates[:] = updates
         store.bytes_sent[:] = updates * _BASE_UPDATE_BYTES
+        if obs is not None:
+            # The same deterministic counters the scalar fleet loop records
+            # in _record_lane_metrics — the engines are bit-identical, so
+            # the counts agree by construction.
+            registry = obs.registry
+            registry.counter("sim.lanes").inc(n)
+            registry.counter("sim.samples").inc(n * t_count)
+            registry.counter("sim.updates_sent").inc(int(updates.sum()))
+            registry.counter("sim.bytes_sent").inc(int(store.bytes_sent.sum()))
+            registry.counter("sim.error_samples").inc(n * t_count)
+            registry.counter("sim.update_reason.initial").inc(n)
+            threshold_total = int(threshold_counts.sum())
+            if threshold_total:
+                registry.counter("sim.update_reason.threshold").inc(threshold_total)
         duration_h = (
             float(times[-1] - times[0]) / 3600.0 if t_count > 1 else 0.0
         )
@@ -497,8 +532,8 @@ class ColumnarFleetEngine:
         )
 
 
-def run_fleet_columnar(lanes, count_initial_update: bool = True):
+def run_fleet_columnar(lanes, count_initial_update: bool = True, obs=None):
     """Run an eligible fleet through the columnar engine (lane-level API)."""
     return ColumnarFleetEngine.from_lanes(
-        lanes, count_initial_update=count_initial_update
+        lanes, count_initial_update=count_initial_update, obs=obs
     ).run()

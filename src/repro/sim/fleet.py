@@ -49,6 +49,8 @@ import numpy as np
 
 from repro.geo.bbox import BoundingBox
 from repro.geo.vec import distance
+from repro.obs import Observability
+from repro.obs.metrics import publish_service_stats
 from repro.protocols.base import UpdateProtocol
 from repro.service.channel import ChannelStats, MessageChannel, delivery_order
 from repro.service.server import LocationServer
@@ -57,6 +59,7 @@ from repro.service.source import LocationSource
 from repro.sim.kernel import (
     DELIVERY,
     HANDOFF,
+    KIND_NAMES,
     QUERY,
     SAMPLE,
     TIMER,
@@ -296,6 +299,13 @@ class FleetSimulation:
         unseeded lossy channels, query workloads (one global RNG stream),
         and tick-kernel latency over mixed sampling grids (a delivery tick
         is the first tick of the *merged* grid).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle.  When attached,
+        the run records per-event-kind counts, agenda depth, phase spans
+        and per-lane work into it (workers of a multi-process run record
+        into their own bundle; the parent merges the registries back
+        commutatively).  The instruments only watch: results, goldens and
+        bit-identity are unchanged whether ``obs`` is attached or not.
     """
 
     def __init__(
@@ -309,6 +319,7 @@ class FleetSimulation:
         kernel: str = "tick",
         handoff_interval: Optional[float] = None,
         processes: int = 1,
+        obs: Optional[Observability] = None,
     ):
         lanes = list(lanes)
         if not lanes:
@@ -349,6 +360,11 @@ class FleetSimulation:
             raise ValueError("processes must be at least 1")
         if self.processes > 1:
             self._validate_multiprocess()
+        self.obs = obs
+        # Set by _ShardTask: worker runs record lane/kernel metrics into
+        # their own registry but must not publish their *partial* service
+        # stats — only the parent publishes, after the proven stats merge.
+        self._obs_worker = False
         # Worker-shard clock overrides: a shard task runs a lane *subset*,
         # but handoff instants and the delivery horizon must be computed
         # from the whole fleet's clock for the merge to be bit-identical.
@@ -438,12 +454,24 @@ class FleetSimulation:
             )
         self.workload_executor = executor
 
-        if self.kernel == "event":
-            self._run_event(states, channels, executor)
-        elif len(states) == 1:
-            self._run_single(states[0], executor)
-        else:
-            self._run_merged(states, executor)
+        obs = self.obs
+        if obs is not None and getattr(server, "obs", False) is None:
+            # Backends with an obs seam (the sharded facade) inherit the
+            # fleet's bundle unless the caller attached their own.
+            server.obs = obs
+        loop_span = None if obs is None else obs.span(
+            f"fleet.{self.kernel}_loop", cat="sim", args={"lanes": len(states)}
+        )
+        try:
+            if self.kernel == "event":
+                self._run_event(states, channels, executor)
+            elif len(states) == 1:
+                self._run_single(states[0], executor)
+            else:
+                self._run_merged(states, executor)
+        finally:
+            if loop_span is not None:
+                loop_span.close()
 
         results = {
             state.lane.object_id: state.finish(self.count_initial_update)
@@ -454,11 +482,42 @@ class FleetSimulation:
             for object_id, result in results.items():
                 result.service_stats = {"shard": home_shard(object_id)}
         service_stats = getattr(server, "service_stats", None)
+        stats = service_stats() if callable(service_stats) else {}
+        if obs is not None:
+            self._record_lane_metrics(obs, states)
+            if stats and not self._obs_worker:
+                publish_service_stats(obs.registry, stats)
         return FleetResult(
             results=results,
-            service_stats=service_stats() if callable(service_stats) else {},
+            service_stats=stats,
             workload=executor.report if executor is not None else None,
         )
+
+    @staticmethod
+    def _record_lane_metrics(obs: Observability, states: List["_LaneState"]) -> None:
+        """Record per-run lane aggregates — all partition-invariant.
+
+        Samples, updates, bytes and error samples are per-lane sums, so a
+        worker partition records exactly its share and the merged registry
+        matches the single-process run bit for bit (the counters stay
+        integers, exact under addition).
+        """
+        registry = obs.registry
+        registry.counter("sim.lanes").inc(len(states))
+        registry.counter("sim.samples").inc(sum(len(s.times) for s in states))
+        registry.counter("sim.updates_sent").inc(
+            sum(s.source.updates_sent for s in states)
+        )
+        registry.counter("sim.bytes_sent").inc(
+            sum(s.lane.protocol.bytes_sent for s in states)
+        )
+        registry.counter("sim.error_samples").inc(sum(len(s.errors) for s in states))
+        reasons: Dict[str, int] = {}
+        for state in states:
+            for reason, count in state.reasons.items():
+                reasons[reason] = reasons.get(reason, 0) + count
+        for reason in sorted(reasons):
+            registry.counter(f"sim.update_reason.{reason}").inc(reasons[reason])
 
     @staticmethod
     def _fleet_area(states: List["_LaneState"]) -> BoundingBox:
@@ -569,7 +628,28 @@ class FleetSimulation:
         """
         server = self.server
         ingest = getattr(server, "ingest_batch", None)
-        kern = EventKernel()
+        obs = self.obs
+        if obs is None:
+            kern = EventKernel()
+            depth_hist = None
+            event_counts = None
+        else:
+            # One list-index increment + one ring append per event; the
+            # counts land in the registry after the loop.  SAMPLE/TIMER/
+            # DELIVERY events are scheduled per lane (partition-invariant,
+            # hence deterministic); HANDOFF/QUERY are per kernel instance.
+            event_counts = [0] * len(KIND_NAMES)
+            flight_note = obs.flight.note
+
+            def _on_pop(t, prio, seq, _counts=event_counts, _note=flight_note):
+                _counts[prio] += 1
+                _note(t, prio, seq)
+
+            kern = EventKernel(on_pop=_on_pop)
+            depth_hist = obs.histogram(
+                "kernel.agenda_depth",
+                bounds=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384),
+            )
         times_per_lane = [state.times.tolist() for state in states]
         lane_samples = [len(t) for t in times_per_lane]
         lane_end = [t[-1] for t in times_per_lane]
@@ -626,7 +706,11 @@ class FleetSimulation:
                 if first <= end_time:
                     kern.schedule(first, HANDOFF, None)
             schedule = kern.schedule
+            n_instants = 0
             while kern:
+                if depth_hist is not None:
+                    depth_hist.observe(len(kern))
+                    n_instants += 1
                 t = kern.next_time()
                 sampled: List = []
                 deliveries: Dict[MessageChannel, List] = {}
@@ -721,6 +805,20 @@ class FleetSimulation:
                     nxt = executor.next_arrival(t)
                     if nxt <= end_time:
                         kern.schedule(nxt, QUERY, None)
+            if obs is not None:
+                for kind, name in KIND_NAMES.items():
+                    if event_counts[kind]:
+                        obs.counter(
+                            f"kernel.events.{name}",
+                            deterministic=kind in (SAMPLE, TIMER, DELIVERY),
+                        ).inc(event_counts[kind])
+                obs.counter("kernel.instants", deterministic=False).inc(n_instants)
+        except BaseException:
+            # The flight recorder earns its keep here: the last events the
+            # kernel handed out, in order, right before the failure.
+            if obs is not None:
+                obs.dump_flight(reason="fleet event loop died")
+            raise
         finally:
             for channel in channels:
                 channel.unbind_scheduler()
@@ -763,6 +861,10 @@ class FleetSimulation:
             lane_slots.append(channel_order.index(lane.channel))
         from repro.sim.runner import auto_region_size
 
+        obs = self.obs
+        partition_span = None if obs is None else obs.span(
+            "fleet.partition", cat="sim", args={"processes": self.processes}
+        )
         policy = GridHashPolicy(
             self.processes, region_size=auto_region_size(self.lanes, self.processes)
         )
@@ -783,10 +885,20 @@ class FleetSimulation:
                 handoff_interval=self.handoff_interval,
                 clock_start=clock_start,
                 horizon=horizon,
+                obs_enabled=obs is not None,
             )
             for shard in sorted(groups)
         ]
+        if partition_span is not None:
+            partition_span.args["tasks"] = len(tasks)
+            partition_span.close()
+        execute_span = None if obs is None else obs.span(
+            "fleet.execute_shards", cat="sim", args={"tasks": len(tasks)}
+        )
         outcomes = _execute_shard_tasks(tasks, self.processes)
+        if execute_span is not None:
+            execute_span.close()
+        merge_span = None if obs is None else obs.span("fleet.merge", cat="sim")
 
         # Per-lane results, in lane order (the single-process dict order).
         by_object: Dict[str, SimulationResult] = {}
@@ -817,6 +929,24 @@ class FleetSimulation:
             channel_order[slot].stats = agg
 
         service_stats = self._merge_service_stats(outcomes)
+
+        if obs is not None:
+            # Fold every worker's registry back (commutative, so worker
+            # completion order cannot matter) and adopt its spans under a
+            # per-shard pid for the Perfetto view.  The merged service
+            # stats are published here — and only here — so the counters
+            # match a single-process run of the same fleet exactly.
+            for k, outcome in enumerate(outcomes):
+                worker_registry = outcome.get("obs_registry")
+                if worker_registry is not None:
+                    obs.registry.merge(worker_registry)
+                worker_events = outcome.get("obs_trace")
+                if worker_events:
+                    obs.tracer.adopt(worker_events, pid=k + 1, name=f"shard-{k}")
+            if service_stats:
+                publish_service_stats(obs.registry, service_stats)
+            if merge_span is not None:
+                merge_span.close()
 
         # Register the lanes with the parent backend so the one-shot
         # protection (and any later lookups) behave as after a local run.
@@ -892,9 +1022,14 @@ class _ShardTask:
     handoff_interval: Optional[float]
     clock_start: float
     horizon: float
+    obs_enabled: bool = False
 
     def run(self) -> Dict[str, object]:
         """Run this shard's lanes and package the mergeable outcome."""
+        # A worker builds its own fresh bundle (never the parent's pickled
+        # copy, which would duplicate whatever the parent already counted)
+        # and ships the registry + spans back in the outcome.
+        obs = Observability() if self.obs_enabled else None
         fleet = FleetSimulation(
             self.lanes,
             channel=self.shared_channel,
@@ -902,7 +1037,9 @@ class _ShardTask:
             count_initial_update=self.count_initial_update,
             kernel=self.kernel,
             handoff_interval=self.handoff_interval,
+            obs=obs,
         )
+        fleet._obs_worker = True
         fleet._clock_start = self.clock_start
         fleet._horizon = self.horizon
         # Record the instants at which this worker's backend ingested a
@@ -931,6 +1068,8 @@ class _ShardTask:
             "channel_stats": channel_stats,
             "ingest_instants": instants,
             "service_stats": outcome.service_stats or None,
+            "obs_registry": obs.registry if obs is not None else None,
+            "obs_trace": obs.tracer.events() if obs is not None else None,
         }
 
 

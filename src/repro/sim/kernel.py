@@ -91,13 +91,20 @@ class EventKernel:
     Entries are plain tuples ``(time, priority, seq, payload)`` — no event
     objects are allocated on the hot path.  ``payload`` is whatever the
     scheduling handler wants back (the kernel never inspects it).
+
+    ``on_pop`` is the observability seam: a callable invoked as
+    ``on_pop(time, priority, seq)`` for every event the agenda hands out
+    (per-event-kind counts, the flight recorder).  It must never mutate
+    the agenda; when ``None`` — the default — the only cost on the hot
+    path is one identity check per pop.
     """
 
-    __slots__ = ("_agenda", "_seq")
+    __slots__ = ("_agenda", "_seq", "on_pop")
 
-    def __init__(self) -> None:
+    def __init__(self, on_pop=None) -> None:
         self._agenda: List[Tuple[float, int, int, object]] = []
         self._seq = 0
+        self.on_pop = on_pop
 
     def schedule(self, time: float, priority: int, payload: object) -> None:
         """Add an event at *time* with the given kind/*priority*."""
@@ -106,7 +113,10 @@ class EventKernel:
 
     def pop(self) -> Tuple[float, int, int, object]:
         """Remove and return the next event ``(time, priority, seq, payload)``."""
-        return heapq.heappop(self._agenda)
+        entry = heapq.heappop(self._agenda)
+        if self.on_pop is not None:
+            self.on_pop(entry[0], entry[1], entry[2])
+        return entry
 
     def next_time(self) -> float:
         """Timestamp of the next event (the agenda must not be empty)."""
@@ -130,5 +140,12 @@ class EventKernel:
         if not agenda:
             return
         t = agenda[0][0]
-        while agenda and agenda[0][0] == t:
-            yield heapq.heappop(agenda)
+        on_pop = self.on_pop
+        if on_pop is None:
+            while agenda and agenda[0][0] == t:
+                yield heapq.heappop(agenda)
+        else:
+            while agenda and agenda[0][0] == t:
+                entry = heapq.heappop(agenda)
+                on_pop(entry[0], entry[1], entry[2])
+                yield entry

@@ -24,6 +24,7 @@ from __future__ import annotations
 import ast
 import csv
 import json
+import logging
 import math
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -40,8 +41,24 @@ from repro.sim.config import SimulationConfig
 from repro.sim.engine import ProtocolSimulation
 from repro.sim.fleet import FleetSimulation
 from repro.sim.metrics import SimulationResult
+from repro.obs.manifest import build_manifest
 from repro.sim.sweep import SweepPoint
 from repro.sim.workload import QueryWorkload, default_query_mix, default_query_rate
+
+_logger = logging.getLogger(__name__)
+
+
+def _artifact_provenance(config: Dict[str, object]) -> Dict[str, object]:
+    """Run-invariant provenance for embedding inside artifacts.
+
+    Artifacts must stay byte-identical across executor/job counts (a
+    tier-1 contract), so the wall-clock ``created_unix`` stamp is dropped;
+    the stable fields — git revision, config hash, interpreter and library
+    versions — remain.
+    """
+    manifest = build_manifest(config=config)
+    manifest.pop("created_unix", None)
+    return manifest
 
 
 # --------------------------------------------------------------------------- #
@@ -411,6 +428,7 @@ class SweepRunner:
         order.
         """
         tasks = list(tasks)
+        _logger.info("running %d sweep task(s) with jobs=%d", len(tasks), self.jobs)
         if self.jobs == 1 or len(tasks) <= 1:
             return [task.run() for task in tasks]
         # Warm the local cache so fork-started workers inherit built
@@ -573,9 +591,16 @@ class SweepRunner:
         out_dir = out_dir or self.artifact_dir or "."
         os.makedirs(out_dir, exist_ok=True)
         path = os.path.join(out_dir, f"{name}.json")
+        provenance = _artifact_provenance({"artifact": name, "kind": "query_bench"})
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump({"name": name, **record}, fh, indent=2, sort_keys=True)
+            json.dump(
+                {"name": name, "provenance": provenance, **record},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
             fh.write("\n")
+        _logger.info("wrote query-bench artifact %s", path)
         return path
 
     # ------------------------------------------------------------------ #
@@ -592,7 +617,9 @@ class SweepRunner:
         """Write the sweep's rows as machine-readable artifacts.
 
         Returns a mapping ``format -> written path``.  The JSON artifact
-        carries the row dictionaries plus free-form *metadata*; the CSV
+        carries the row dictionaries plus free-form *metadata* and a
+        top-level ``provenance`` manifest (git revision, config hash,
+        interpreter/library versions — :mod:`repro.obs.manifest`); the CSV
         holds the same rows for spreadsheet / pandas consumption.
         """
         out_dir = out_dir or self.artifact_dir or "."
@@ -602,7 +629,14 @@ class SweepRunner:
         for fmt in formats:
             if fmt == "json":
                 path = os.path.join(out_dir, f"{name}.json")
-                payload = {"name": name, "metadata": metadata or {}, "points": rows}
+                payload = {
+                    "name": name,
+                    "metadata": metadata or {},
+                    "points": rows,
+                    "provenance": _artifact_provenance(
+                        {"artifact": name, "metadata": metadata or {}}
+                    ),
+                }
                 with open(path, "w", encoding="utf-8") as fh:
                     json.dump(payload, fh, indent=2, sort_keys=True)
                     fh.write("\n")
@@ -619,6 +653,7 @@ class SweepRunner:
                     writer.writerows(rows)
             else:
                 raise ValueError(f"unknown artifact format {fmt!r}")
+            _logger.info("wrote %s artifact %s", fmt, path)
             written[fmt] = path
         return written
 
