@@ -46,7 +46,11 @@ _SPECS = {
         "flags": ["updates_per_hour_identical"],
     },
     "BENCH_query_engine.json": {
-        "floors": {"speedup": "required_speedup"},
+        "floors": {
+            "speedup": "required_speedup",
+            "speedup_vs_linear": "required_speedup_vs_linear",
+        },
+        "ceilings": {"load_imbalance": "max_load_imbalance"},
         "flags": ["answers_identical"],
     },
     "BENCH_ingest.json": {

@@ -349,6 +349,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound of the ingest queue in batches — the backpressure knob (default 64)",
     )
     p_serve.add_argument("--seed", type=int, default=None, help="scenario seed override")
+    p_serve.add_argument(
+        "--rebalance-skew", type=float, default=None, metavar="RATIO",
+        help="re-home hot routing cells when the per-shard object-count skew "
+             "(max/mean) exceeds RATIO (> 1.0; needs --shards > 1; off by default)",
+    )
+    p_serve.add_argument(
+        "--rebalance-cells", type=_positive_int, default=4, metavar="N",
+        help="max routing cells re-homed per rebalance pass (default 4)",
+    )
     add_scale(p_serve)
     add_obs(p_serve)
 
@@ -840,6 +849,18 @@ def _cmd_serve(args) -> int:
 
     obs = _build_obs(args)
 
+    rebalance = None
+    if args.rebalance_skew is not None:
+        from repro.service.sharding import RebalancePolicy
+
+        if args.shards < 2:
+            print("--rebalance-skew needs --shards > 1", file=sys.stderr)
+            return 2
+        rebalance = RebalancePolicy(
+            skew_threshold=args.rebalance_skew,
+            max_cells_per_pass=args.rebalance_cells,
+        )
+
     async def _serve() -> None:
         server = LiveLocationServer(
             service,
@@ -847,15 +868,28 @@ def _cmd_serve(args) -> int:
             port=args.port,
             ingest_queue_size=args.queue_size,
             obs=obs,
+            rebalance=rebalance,
         )
         host, port = await server.start()
+        rebalance_note = (
+            f", rebalance skew > {args.rebalance_skew:g}" if rebalance else ""
+        )
         print(
             f"serving {len(lanes)} objects on {host}:{port} "
             f"({args.shards} shard{'s' if args.shards != 1 else ''}, "
-            f"ingest queue {args.queue_size}); send the shutdown op to stop",
+            f"ingest queue {args.queue_size}{rebalance_note}); "
+            "send the shutdown op to stop",
             file=sys.stderr,
         )
         await server.run_until_shutdown()
+        if rebalance is not None and rebalance.passes:
+            report = rebalance.last_report
+            print(
+                f"rebalanced {rebalance.passes} time(s): {rebalance.cells_moved} "
+                f"cells, {rebalance.objects_moved} objects re-homed "
+                f"(last pass skew {report.skew_before:.3f} -> {report.skew_after:.3f})",
+                file=sys.stderr,
+            )
 
     try:
         asyncio.run(_serve())
@@ -870,6 +904,7 @@ def _cmd_serve(args) -> int:
             "scale": args.scale,
             "shards": args.shards,
             "queue_size": args.queue_size,
+            "rebalance_skew": args.rebalance_skew,
         },
         seed=args.seed,
     )

@@ -453,6 +453,12 @@ def publish_service_stats(registry: MetricsRegistry, stats: Mapping[str, object]
         registry.gauge("service.load_imbalance", mode="max", deterministic=True).set(
             imbalance
         )
+        # Published under the rebalancing vocabulary too: the skew gauge is
+        # the number RebalancePolicy thresholds on (max/mean object count
+        # across shards), so obs-report prints it directly.
+        registry.gauge("service.shard.skew", mode="max", deterministic=True).set(
+            imbalance
+        )
     seconds = stats.get("query_seconds")
     if seconds is not None:
         registry.gauge("service.query_seconds", mode="sum").set(float(seconds))

@@ -14,14 +14,24 @@ serving tier the ROADMAP's fleet-scale north star needs:
 :class:`LocationServer` shards by spatial region (pluggable
 :class:`ShardingPolicy`), ingests updates in per-tick batches, hands
 objects off across shard boundaries, and answers range / k-nearest /
-geofence queries through one incremental :class:`QueryEngine` per shard.
+geofence queries through one columnar :class:`QueryEngine` per shard
+(vectorised NumPy kernels; :class:`ScalarQueryEngine` is the retained
+bit-identical reference).  :class:`RebalancePolicy` re-homes hot routing
+cells when the per-shard skew exceeds a threshold, keeping the tier
+load-adaptive under live traffic.
 """
 
 from repro.service.channel import ChannelStats, MessageChannel
 from repro.service.server import LocationServer, TrackedObject
 from repro.service.source import LocationSource
-from repro.service.sharding import GridHashPolicy, ShardingPolicy
-from repro.service.query_engine import QueryEngine
+from repro.service.sharding import (
+    GridHashPolicy,
+    RebalancePolicy,
+    RebalanceReport,
+    ShardingPolicy,
+    shard_skew,
+)
+from repro.service.query_engine import QueryEngine, ScalarQueryEngine
 from repro.service.facade import LocationService, QueryCounters, ShardLoad
 from repro.service.queries import (
     PositionQueryResult,
@@ -39,10 +49,14 @@ __all__ = [
     "LocationSource",
     "LocationService",
     "QueryEngine",
+    "ScalarQueryEngine",
     "QueryCounters",
     "ShardLoad",
     "ShardingPolicy",
     "GridHashPolicy",
+    "RebalancePolicy",
+    "RebalanceReport",
+    "shard_skew",
     "PositionQueryResult",
     "position_query",
     "range_query",

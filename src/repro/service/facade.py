@@ -5,9 +5,11 @@ objects across N :class:`~repro.service.server.LocationServer` shards by
 spatial region (pluggable :class:`~repro.service.sharding.ShardingPolicy`,
 grid-hash by default), ingests update batches per simulation tick, hands
 objects off between shards when their predicted position crosses a shard
-boundary, and answers application queries through one incremental
-:class:`~repro.service.query_engine.QueryEngine` per shard — so query cost
-scales with the result size instead of the fleet size.
+boundary, and answers application queries through one columnar
+:class:`~repro.service.query_engine.QueryEngine` per shard — vectorised
+NumPy kernels over contiguous per-shard columns instead of per-object
+Python loops (``engine="scalar"`` selects the PR 3 incremental grid-index
+engine, kept as the bit-identical reference).
 
 The facade implements the full :class:`LocationServer` surface
 (``register_object`` / ``receive_update`` / ``predict_position`` /
@@ -26,10 +28,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.geo.bbox import BoundingBox
-from repro.geo.vec import Vec2, as_vec, distance
+from repro.geo.vec import Vec2, as_vec
 from repro.protocols.base import ObjectState, UpdateMessage
 from repro.protocols.prediction import PredictionFunction
-from repro.service.query_engine import QueryEngine
+from repro.service.query_engine import ENGINE_KINDS, QueryEngine
 from repro.service.server import LocationServer, TrackedObject
 from repro.service.sharding import GridHashPolicy, ShardingPolicy
 
@@ -92,7 +94,11 @@ class LocationService:
         Routing cell size of the default policy (ignored when *policy* is
         given).
     engine_cell_size:
-        Cell size of each shard's incremental query index.
+        Cell size of each shard's query engine.
+    engine:
+        Query-engine kind: ``"columnar"`` (default; vectorised NumPy
+        kernels) or ``"scalar"`` (PR 3's incremental grid index, the
+        bit-identical reference implementation).
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class LocationService:
         policy: Optional[ShardingPolicy] = None,
         region_size: float = 2000.0,
         engine_cell_size: float = 500.0,
+        engine: str = "columnar",
     ):
         if policy is None:
             policy = GridHashPolicy(n_shards, region_size=region_size)
@@ -108,10 +115,16 @@ class LocationService:
             raise ValueError(
                 f"policy is for {policy.n_shards} shards, service has {n_shards}"
             )
+        if engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"unknown engine {engine!r} (expected one of {sorted(ENGINE_KINDS)})"
+            )
+        self.engine_kind = engine
+        engine_cls = ENGINE_KINDS[engine]
         self.policy = policy
         self.shards: List[LocationServer] = [LocationServer() for _ in range(n_shards)]
         self.engines: List[QueryEngine] = [
-            QueryEngine(cell_size=engine_cell_size) for _ in range(n_shards)
+            engine_cls(cell_size=engine_cell_size) for _ in range(n_shards)
         ]
         self.loads: List[ShardLoad] = [ShardLoad(shard_id=s) for s in range(n_shards)]
         self.counters = QueryCounters()
@@ -347,11 +360,10 @@ class LocationService:
             engine = self.engines[shard_id]
             self.loads[shard_id].engine_queries += 1
             if not expand:
-                # Exact hits, unsorted: one final sort over the union beats
-                # a per-shard sort whose order the merge would discard.
-                for object_id in engine.candidates_in_box(area):
-                    if area.contains_point(engine.position_of(object_id)):
-                        hits.append(object_id)
+                # Exact hits, unsorted: one vectorised mask per shard and
+                # one final sort over the union (a per-shard sort order
+                # would be discarded by the merge anyway).
+                hits.extend(engine.ids_in_box(area))
                 continue
             for object_id in engine.candidates_in_box(probe):
                 record = self._records[object_id]
@@ -376,11 +388,10 @@ class LocationService:
         ``(distance, object_id)`` — identical to
         :func:`repro.service.queries.nearest_object_query`.
 
-        One expanding-radius search is shared across all shards: because
-        the grid-hash policy scatters each shard over the whole region, a
-        per-shard k-nearest would degenerate to near-full-shard scans,
-        whereas the shared ball only ever examines candidates within the
-        current radius on any shard.
+        Each shard answers its own exact top-k with one vectorised
+        ``argpartition`` kernel, and the facade merges the per-shard
+        answers by ``(distance, object_id)``: the global top-k is always
+        contained in the union of per-shard top-k lists.
         """
         started = _time.perf_counter()
         self.prepare(time)
@@ -393,31 +404,16 @@ class LocationService:
         return answer
 
     def _k_nearest_merged(self, p: np.ndarray, k: int) -> List[Tuple[str, float]]:
-        engines = self.engines
-        n = sum(len(engine) for engine in engines)
-        if k <= 0 or n == 0:
+        if k <= 0:
             return []
-        radius = max(engine.cell_size for engine in engines)
-        while True:
-            box = BoundingBox.around(p, radius)
-            pairs: List[Tuple[str, float]] = []
-            for shard_id in self.policy.shards_for_box(box):
-                engine = engines[shard_id]
-                self.loads[shard_id].engine_queries += 1
-                for object_id in engine.candidates_in_box(box):
-                    pairs.append((object_id, distance(engine.position_of(object_id), p)))
-            within = [pair for pair in pairs if pair[1] <= radius]
-            if len(within) >= k:
-                # Nothing outside the searched ball can displace the k-th
-                # candidate: its distance is <= radius by construction.
-                within.sort(key=lambda pair: (pair[1], pair[0]))
-                return within[:k]
-            if len(pairs) == n:
-                # Every object was examined; rank them all (distances
-                # beyond the ball are exact too).
-                pairs.sort(key=lambda pair: (pair[1], pair[0]))
-                return pairs[:k]
-            radius *= 4.0
+        pairs: List[Tuple[str, float]] = []
+        for shard_id, engine in enumerate(self.engines):
+            if not len(engine):
+                continue
+            self.loads[shard_id].engine_queries += 1
+            pairs.extend(engine.k_nearest(p, k))
+        pairs.sort(key=lambda pair: (pair[1], pair[0]))
+        return pairs[:k]
 
     def geofence_query(
         self, point: Vec2, radius: float, time: float

@@ -14,9 +14,22 @@ connection.  The two request classes meet it differently:
   ingest rate instead of growing an unbounded backlog), and a request with
   ``"wait": false`` is *rejected* immediately with ``"rejected": true`` so
   open-loop clients can shed load.  Either way memory stays bounded.
-* **Queries are read-only** and answered synchronously on the event loop.
-  Because the loop is cooperative and :meth:`ingest_batch` never awaits,
-  a query can never observe a half-applied batch.
+* **Queries are read-only** and answered in coalesced batches on the event
+  loop.  A query request parks on a future and schedules one flush
+  callback; every query that arrived in the same loop iteration (e.g. a
+  burst from many client connections) is answered inside that single
+  synchronous callback against one ``applied_seq`` watermark — so a burst
+  of queries at the same timestamp pays one facade ``prepare`` and the
+  per-shard work runs as one vectorised pass per query instead of
+  interleaving with ingest.  Because the flush never awaits and
+  :meth:`ingest_batch` never awaits, a query can never observe a
+  half-applied batch.
+
+With a :class:`~repro.service.sharding.RebalancePolicy` attached the
+writer additionally checks the per-shard skew after each applied batch and
+re-homes hot routing cells when the threshold trips — load-adaptive
+sharding under live traffic, with placement changes that provably never
+alter query answers.
 
 Every accepted ingest batch gets a monotonically increasing **sequence
 number** which the writer publishes as ``applied_seq`` once the batch is
@@ -58,6 +71,7 @@ from repro.obs import Observability
 from repro.obs.metrics import MetricsRegistry
 from repro.protocols.prediction import LinearPrediction, StaticPrediction
 from repro.service.facade import LocationService
+from repro.service.sharding import RebalancePolicy
 from repro.service.live.protocol import (
     FrameError,
     decode_message,
@@ -101,6 +115,10 @@ class LiveLocationServer:
         the server records per-op latencies, queue depth, shed counts and
         watermark lag (see the module docstring); when ``None`` the only
         instrumentation cost is one attribute check per request.
+    rebalance:
+        Optional :class:`~repro.service.sharding.RebalancePolicy`.  When
+        attached, the writer checks the per-shard skew after every applied
+        ingest batch and re-homes hot routing cells past the threshold.
     """
 
     def __init__(
@@ -110,6 +128,7 @@ class LiveLocationServer:
         port: int = 0,
         ingest_queue_size: int = 64,
         obs: Optional[Observability] = None,
+        rebalance: Optional[RebalancePolicy] = None,
     ):
         if ingest_queue_size < 1:
             raise ValueError("ingest_queue_size must be at least 1")
@@ -122,7 +141,12 @@ class LiveLocationServer:
             # instruments land in the same registry the metrics op serves.
             self.service.obs = obs
         self.ingest_queue_size = int(ingest_queue_size)
+        self.rebalance_policy = rebalance
+        #: Rebalance passes the writer actually ran (threshold trips).
+        self.rebalance_passes = 0
         self._queue: Optional[asyncio.Queue] = None
+        self._query_batch: List[Tuple[str, Dict[str, object], asyncio.Future]] = []
+        self._flush_scheduled = False
         self._applied_cond: Optional[asyncio.Condition] = None
         self._writer_task: Optional[asyncio.Task] = None
         self._server: Optional[asyncio.base_events.Server] = None
@@ -218,11 +242,41 @@ class LiveLocationServer:
             seq, time, batch = item
             try:
                 self.service.ingest_batch(batch, time)
+                if self.rebalance_policy is not None:
+                    self._maybe_rebalance(time)
             finally:
                 self._queue.task_done()
                 async with self._applied_cond:
                     self.applied_seq = seq
                     self._applied_cond.notify_all()
+
+    def _maybe_rebalance(self, time: float) -> None:
+        """Writer-side skew check (never awaits; placement only)."""
+        report = self.rebalance_policy.maybe_rebalance(self.service, time)
+        if report is None:
+            return
+        self.rebalance_passes += 1
+        _logger.info(
+            "rebalanced shard %d at t=%g: skew %.3f -> %.3f "
+            "(%d cells, %d objects re-homed)",
+            report.hot_shard,
+            report.time,
+            report.skew_before,
+            report.skew_after,
+            len(report.moves),
+            report.handoffs,
+        )
+        if self.obs is not None:
+            self.obs.counter("live.rebalance.passes", deterministic=False).inc()
+            self.obs.counter("live.rebalance.cells", deterministic=False).inc(
+                len(report.moves)
+            )
+            self.obs.counter("live.rebalance.objects", deterministic=False).inc(
+                report.handoffs
+            )
+            self.obs.gauge("live.rebalance.skew_after", deterministic=False).set(
+                report.skew_after
+            )
 
     # ------------------------------------------------------------------ #
     # connections
@@ -367,7 +421,7 @@ class LiveLocationServer:
         }
 
     async def _handle_query(self, op: str, request: Dict[str, object]) -> Dict[str, object]:
-        time = float(request["t"])
+        float(request["t"])  # validate before parking on the batch
         min_seq = int(request.get("min_seq", 0))
         if min_seq > self.enqueued_seq:
             return {
@@ -381,14 +435,55 @@ class LiveLocationServer:
         if self.applied_seq < min_seq:
             async with self._applied_cond:
                 await self._applied_cond.wait_for(lambda: self.applied_seq >= min_seq)
-        # No await between here and the facade call: at_seq is exactly the
-        # ingestion state the answer was computed against.
+        # Park on the coalescing batch: every query that reaches this point
+        # in the same loop iteration is answered by one flush callback.
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._query_batch.append((op, request, future))
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush_query_batch)
+        return await future
+
+    def _flush_query_batch(self) -> None:
+        """Answer every parked query in one synchronous vectorised pass.
+
+        The callback never awaits, so the single ``applied_seq`` read below
+        is exactly the ingestion state *every* answer in the batch was
+        computed against (the writer cannot run mid-flush).  Queries are
+        answered grouped by timestamp so a same-instant burst pays one
+        facade ``prepare`` for the whole group.
+        """
+        batch, self._query_batch = self._query_batch, []
+        self._flush_scheduled = False
+        if not batch:
+            return
         at_seq = self.applied_seq
         if self.obs is not None:
-            # How far the writer trails the accept path, as seen by queries.
             self.obs.histogram(
+                "live.query.batch_size", bounds=(1, 2, 4, 8, 16, 32, 64, 128)
+            ).observe(len(batch))
+            # How far the writer trails the accept path, as seen by queries.
+            lag = self.enqueued_seq - at_seq
+            lag_hist = self.obs.histogram(
                 "live.query.watermark_lag", bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128)
-            ).observe(self.enqueued_seq - at_seq)
+            )
+            for _ in batch:
+                lag_hist.observe(lag)
+        order = sorted(range(len(batch)), key=lambda i: (float(batch[i][1]["t"]), i))
+        for i in order:
+            op, request, future = batch[i]
+            if future.done():
+                continue  # connection was cancelled while parked
+            try:
+                response = self._answer_query(op, request, at_seq)
+            except Exception as exc:  # noqa: BLE001 — survive request errors
+                response = {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+            future.set_result(response)
+
+    def _answer_query(
+        self, op: str, request: Dict[str, object], at_seq: int
+    ) -> Dict[str, object]:
+        time = float(request["t"])
         if op == "range":
             box = [float(v) for v in request["box"]]
             answer = self.service.range_query(
@@ -418,6 +513,13 @@ class LiveLocationServer:
                 "rejected_batches": self.rejected_batches,
                 "op_counts": dict(self.op_counts),
                 "connections": len(self._conn_tasks),
+                "rebalance_passes": self.rebalance_passes,
+                "rebalance": (
+                    self.rebalance_policy.last_report.as_dict()
+                    if self.rebalance_policy is not None
+                    and self.rebalance_policy.last_report is not None
+                    else None
+                ),
             },
         }
 
@@ -471,9 +573,10 @@ def service_for_registrations(
     registrations: List[Tuple[str, object, float]],
     n_shards: int = 1,
     region_size: float = 2000.0,
+    engine: str = "columnar",
 ) -> LocationService:
     """A fresh facade with *registrations* applied (server or reference side)."""
-    service = LocationService(n_shards=n_shards, region_size=region_size)
+    service = LocationService(n_shards=n_shards, region_size=region_size, engine=engine)
     for object_id, prediction, accuracy in registrations:
         service.register_object(object_id, prediction=prediction, accuracy=accuracy)
     return service

@@ -10,6 +10,15 @@ requiring any knowledge of the covered area.
 Every mapping is deterministic (no process-randomised hashes), so shard
 assignments — and with them per-shard load counters and query routes — are
 reproducible across runs and across processes.
+
+:class:`RebalancePolicy` makes the tier *load-adaptive*: when the per-shard
+object-count skew (the ``service.shard.skew`` gauge, max/mean) exceeds a
+threshold, it re-homes the hottest routing cells of the hottest shard onto
+the least-loaded shard via :meth:`GridHashPolicy.override_cell` and sweeps
+the affected records across with
+:meth:`~repro.service.facade.LocationService.rebalance`.  Placement never
+affects query answers — handoffs move records wholesale — so rebalancing
+is free to run under live traffic.
 """
 
 from __future__ import annotations
@@ -17,7 +26,10 @@ from __future__ import annotations
 import abc
 import math
 import zlib
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.geo.bbox import BoundingBox
 from repro.geo.vec import Vec2, as_vec
@@ -78,6 +90,11 @@ class GridHashPolicy(ShardingPolicy):
         if region_size <= 0:
             raise ValueError("region_size must be positive")
         self.region_size = float(region_size)
+        #: Per-cell overrides installed by :class:`RebalancePolicy` (or by
+        #: hand): routing cells whose objects were re-homed away from their
+        #: hash shard.  Deterministic like everything else — the table is
+        #: plain state that pickles across worker processes.
+        self.overrides: Dict[Tuple[int, int], int] = {}
 
     def cell_for_point(self, point: Vec2) -> tuple[int, int]:
         """The routing cell containing *point*."""
@@ -89,10 +106,38 @@ class GridHashPolicy(ShardingPolicy):
 
     def shard_for_cell(self, cell: tuple[int, int]) -> int:
         """Deterministic spatial hash of a routing cell onto the shard ring."""
+        override = self.overrides.get(cell)
+        if override is not None:
+            return override
         cx, cy = cell
         # Classic two-prime spatial hash; Python's % keeps the result
         # non-negative for negative cell coordinates.
         return ((cx * 73856093) ^ (cy * 19349663)) % self.n_shards
+
+    def hash_shard_for_cell(self, cell: tuple[int, int]) -> int:
+        """The un-overridden hash assignment of *cell* (diagnostics)."""
+        cx, cy = cell
+        return ((cx * 73856093) ^ (cy * 19349663)) % self.n_shards
+
+    def override_cell(self, cell: tuple[int, int], shard: int) -> int:
+        """Pin *cell* to *shard*; returns the previous effective shard.
+
+        Overriding back to the cell's natural hash shard removes the table
+        entry instead of storing a redundant one.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.n_shards})")
+        cell = (int(cell[0]), int(cell[1]))
+        previous = self.shard_for_cell(cell)
+        if shard == self.hash_shard_for_cell(cell):
+            self.overrides.pop(cell, None)
+        else:
+            self.overrides[cell] = int(shard)
+        return previous
+
+    def clear_overrides(self) -> None:
+        """Drop every override (back to the pure hash mapping)."""
+        self.overrides.clear()
 
     def shard_for_point(self, point: Vec2) -> int:
         return self.shard_for_cell(self.cell_for_point(point))
@@ -112,3 +157,157 @@ class GridHashPolicy(ShardingPolicy):
                 if len(shards) == self.n_shards:
                     return self.all_shards()
         return sorted(shards)
+
+
+# --------------------------------------------------------------------- #
+# load-adaptive rebalancing
+# --------------------------------------------------------------------- #
+def shard_skew(object_counts: List[int]) -> float:
+    """Per-shard object-count skew: max/mean (1.0 = perfectly balanced)."""
+    if not object_counts:
+        return 0.0
+    mean = sum(object_counts) / len(object_counts)
+    return (max(object_counts) / mean) if mean else 0.0
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one :meth:`RebalancePolicy.maybe_rebalance` pass did."""
+
+    time: float
+    hot_shard: int
+    skew_before: float
+    skew_after: float
+    handoffs: int
+    #: ``(cell, from_shard, to_shard)`` per re-homed routing cell.
+    moves: List[Tuple[Tuple[int, int], int, int]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "hot_shard": self.hot_shard,
+            "skew_before": self.skew_before,
+            "skew_after": self.skew_after,
+            "cells_moved": len(self.moves),
+            "handoffs": self.handoffs,
+            "moves": [
+                {"cell": list(cell), "from": src, "to": dst}
+                for cell, src, dst in self.moves
+            ],
+        }
+
+
+class RebalancePolicy:
+    """Threshold-triggered re-homing of hot routing cells.
+
+    Watches the per-shard object-count skew (max/mean — the same number the
+    obs layer exports as the ``service.shard.skew`` gauge) and, when it
+    exceeds *skew_threshold*, moves the hottest shard's most crowded routing
+    cells onto the least-loaded shard by installing
+    :meth:`GridHashPolicy.override_cell` entries and sweeping the affected
+    records across with the service's ``rebalance``.  Every step is
+    deterministic: ties are broken by cell coordinates and shard index.
+
+    Placement changes never change query answers (handoffs move records
+    wholesale and queries route through the same policy that placed them),
+    so the live server can run this between ingest batches under traffic.
+
+    Parameters
+    ----------
+    skew_threshold:
+        Trigger when ``max/mean`` object count exceeds this (> 1.0).
+    max_cells_per_pass:
+        At most this many routing cells are re-homed per pass — rebalancing
+        converges over several passes instead of stalling the writer.
+    min_objects:
+        Skip while the service tracks fewer objects than this (skew over a
+        handful of objects is noise).
+    """
+
+    def __init__(
+        self,
+        skew_threshold: float = 1.5,
+        max_cells_per_pass: int = 4,
+        min_objects: int = 64,
+    ):
+        if skew_threshold <= 1.0:
+            raise ValueError("skew_threshold must be > 1.0 (1.0 = balanced)")
+        if max_cells_per_pass < 1:
+            raise ValueError("max_cells_per_pass must be at least 1")
+        self.skew_threshold = float(skew_threshold)
+        self.max_cells_per_pass = int(max_cells_per_pass)
+        self.min_objects = int(min_objects)
+        #: Cumulative diagnostics.
+        self.checks = 0
+        self.passes = 0
+        self.cells_moved = 0
+        self.objects_moved = 0
+        self.last_report: Optional[RebalanceReport] = None
+
+    def maybe_rebalance(self, service, time: float) -> Optional[RebalanceReport]:
+        """Run one rebalance pass against *service* if the skew warrants it.
+
+        *service* is a :class:`~repro.service.facade.LocationService` (duck
+        typed to avoid the circular import); its policy must support cell
+        overrides (:class:`GridHashPolicy` does).  Returns a report when a
+        pass ran, else ``None``.
+        """
+        self.checks += 1
+        policy = service.policy
+        if service.n_shards <= 1 or not hasattr(policy, "override_cell"):
+            return None
+        counts = [len(shard.object_ids()) for shard in service.shards]
+        total = sum(counts)
+        if total < self.min_objects:
+            return None
+        skew_before = shard_skew(counts)
+        if skew_before <= self.skew_threshold:
+            return None
+        hot = counts.index(max(counts))
+        positions = service.shards[hot].all_positions(time)
+        if not positions:
+            return None
+        pts = np.asarray(list(positions.values()), dtype=float)
+        cells = np.floor(pts / policy.region_size).astype(np.int64)
+        unique, cell_counts = np.unique(cells, axis=0, return_counts=True)
+        # Hottest cells first; coordinate order breaks count ties.
+        order = np.lexsort((unique[:, 1], unique[:, 0], -cell_counts))
+        projected = list(counts)
+        mean = total / len(counts)
+        moves: List[Tuple[Tuple[int, int], int, int]] = []
+        for row in order:
+            if len(moves) >= self.max_cells_per_pass:
+                break
+            if projected[hot] / mean <= self.skew_threshold:
+                break
+            count = int(cell_counts[row])
+            target = min(
+                (s for s in range(service.n_shards) if s != hot),
+                key=lambda s: (projected[s], s),
+            )
+            # Only move a cell that actually narrows the hot/target gap;
+            # smaller cells later in the order may still fit.
+            if count >= projected[hot] - projected[target]:
+                continue
+            cell = (int(unique[row, 0]), int(unique[row, 1]))
+            policy.override_cell(cell, target)
+            projected[hot] -= count
+            projected[target] += count
+            moves.append((cell, hot, target))
+        if not moves:
+            return None
+        handoffs = service.rebalance(time)
+        counts_after = [len(shard.object_ids()) for shard in service.shards]
+        report = RebalanceReport(
+            time=float(time),
+            hot_shard=hot,
+            skew_before=skew_before,
+            skew_after=shard_skew(counts_after),
+            handoffs=handoffs,
+            moves=moves,
+        )
+        self.passes += 1
+        self.cells_moved += len(moves)
+        self.objects_moved += handoffs
+        self.last_report = report
+        return report

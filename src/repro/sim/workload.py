@@ -313,11 +313,33 @@ class WorkloadExecutor:
         """Issue one query at exactly *time* (a kernel query-arrival event)."""
         self._one_query(time)
 
+    def issue_wave(self, time: float, n: int) -> None:
+        """Issue *n* queries at one instant as a coalesced wave.
+
+        The workload model of the live server's query batching: every query
+        in the wave shares the same timestamp (one facade ``prepare`` for
+        the whole group) and is answered back to back, with one wall-clock
+        measurement spanning the wave instead of a timer pair per query.
+        Calls are drawn up front in the canonical order, so the answers are
+        identical to *n* sequential :meth:`run_query` calls at *time*.
+        """
+        if n <= 0:
+            return
+        calls = [_draw_call(self._rng, self._weights, self.area, time) for _ in range(n)]
+        started = _time.perf_counter()
+        answers = [execute_call(self.backend, self.workload, call) for call in calls]
+        self.report.query_seconds += _time.perf_counter() - started
+        for call, answer in zip(calls, answers):
+            self._record(time, call, answer)
+
     def _one_query(self, time: float) -> None:
         call = _draw_call(self._rng, self._weights, self.area, time)
         started = _time.perf_counter()
         answer = execute_call(self.backend, self.workload, call)
         self.report.query_seconds += _time.perf_counter() - started
+        self._record(time, call, answer)
+
+    def _record(self, time: float, call: QueryCall, answer) -> None:
         self.report.queries += 1
         self.report.hits += len(answer)
         self.report.by_kind[call.kind] = self.report.by_kind.get(call.kind, 0) + 1

@@ -1,11 +1,11 @@
-"""Tests for the incremental query engine (and GridIndex keyed removal)."""
+"""Tests for the columnar query engine (and GridIndex keyed removal)."""
 
 import numpy as np
 import pytest
 
 from repro.geo.bbox import BoundingBox
 from repro.geo.vec import distance
-from repro.service.query_engine import QueryEngine
+from repro.service.query_engine import QueryEngine, ScalarQueryEngine
 from repro.spatial.grid import GridIndex
 from repro.spatial.index import IndexedItem
 from repro.spatial.rtree import STRtree
@@ -186,8 +186,8 @@ class TestQueryEngineQueries:
             assert all(d == pytest.approx(100.0) for _, d in result)
 
 
-class TestBulkSync:
-    """The cold-start bulk sync is equivalent to the incremental loop."""
+class TestScalarBulkSync:
+    """The scalar engine's cold-start bulk sync equals its incremental loop."""
 
     def _engines(self, n=300, seed=11):
         import repro.service.query_engine as qe_mod
@@ -195,9 +195,9 @@ class TestBulkSync:
         rng = np.random.default_rng(seed)
         positions = _positions(rng, n)
         assert n >= qe_mod._BULK_SYNC_THRESHOLD
-        bulk = QueryEngine(cell_size=500.0)
+        bulk = ScalarQueryEngine(cell_size=500.0)
         moved_bulk = bulk.sync(positions, time=0.0)
-        incremental = QueryEngine(cell_size=500.0)
+        incremental = ScalarQueryEngine(cell_size=500.0)
         threshold = qe_mod._BULK_SYNC_THRESHOLD
         try:
             qe_mod._BULK_SYNC_THRESHOLD = n + 1
@@ -242,6 +242,117 @@ class TestBulkSync:
 
         rng = np.random.default_rng(3)
         positions = _positions(rng, qe_mod._BULK_SYNC_THRESHOLD - 1)
-        engine = QueryEngine(cell_size=500.0)
+        engine = ScalarQueryEngine(cell_size=500.0)
         engine.sync(positions, time=0.0)
         assert len(engine) == len(positions)
+
+
+class TestColumnarScalarEquivalence:
+    """The columnar kernels are bit-identical to the scalar reference engine."""
+
+    def _pair(self, cell_size=400.0):
+        return QueryEngine(cell_size=cell_size), ScalarQueryEngine(cell_size=cell_size)
+
+    def _assert_identical(self, columnar, scalar, rng, queries=15):
+        assert columnar.object_ids() == scalar.object_ids()
+        for _ in range(queries):
+            lo = rng.uniform(-1000.0, 9000.0, size=2)
+            extent = rng.uniform(100.0, 3000.0, size=2)
+            box = BoundingBox(lo[0], lo[1], lo[0] + extent[0], lo[1] + extent[1])
+            assert columnar.range_query(box) == scalar.range_query(box)
+            assert sorted(columnar.ids_in_box(box)) == sorted(scalar.ids_in_box(box))
+            q = rng.uniform(0.0, 10_000.0, size=2)
+            k = int(rng.integers(1, 12))
+            assert columnar.k_nearest(q, k) == scalar.k_nearest(q, k)
+            radius = float(rng.uniform(50.0, 2500.0))
+            assert columnar.within_radius(q, radius) == scalar.within_radius(q, radius)
+
+    def test_random_fleet_answers_and_stats_match(self):
+        columnar, scalar = self._pair()
+        rng = np.random.default_rng(23)
+        positions = _positions(rng, 300)
+        assert columnar.sync(positions, 0.0) == scalar.sync(positions, 0.0)
+        self._assert_identical(columnar, scalar, np.random.default_rng(5))
+
+    def test_incremental_drift_drops_and_adds_match(self):
+        columnar, scalar = self._pair()
+        rng = np.random.default_rng(29)
+        positions = _positions(rng, 250)
+        columnar.sync(positions, 0.0)
+        scalar.sync(positions, 0.0)
+        ids = list(positions)
+        for step in range(1, 5):
+            # Drift everything a little, push some objects across cells,
+            # drop a few and add a few fresh ones each step.
+            positions = {
+                oid: p + rng.normal(0.0, 120.0, size=2) for oid, p in positions.items()
+            }
+            for oid in rng.choice(ids, size=10, replace=False):
+                positions.pop(str(oid), None)
+            for j in range(3):
+                positions[f"new-{step}-{j}"] = rng.uniform(0.0, 10_000.0, size=2)
+            ids = list(positions)
+            assert columnar.sync(positions, float(step)) == scalar.sync(
+                positions, float(step)
+            )
+            assert columnar.drops == scalar.drops
+            assert columnar.moves == scalar.moves
+            self._assert_identical(columnar, scalar, np.random.default_rng(100 + step))
+
+    def test_candidates_in_box_is_refined_superset(self):
+        """Candidate sets may differ, but both contain every exact hit."""
+        columnar, scalar = self._pair()
+        rng = np.random.default_rng(31)
+        positions = _positions(rng, 200)
+        columnar.sync(positions, 0.0)
+        scalar.sync(positions, 0.0)
+        for _ in range(10):
+            lo = rng.uniform(0.0, 8000.0, size=2)
+            box = BoundingBox(lo[0], lo[1], lo[0] + 1500.0, lo[1] + 1500.0)
+            exact = set(columnar.range_query(box))
+            assert exact <= set(columnar.candidates_in_box(box))
+            assert exact <= set(scalar.candidates_in_box(box))
+
+
+class TestPositionOfReadOnly:
+    """position_of returns a read-only view — callers cannot corrupt the index."""
+
+    @pytest.mark.parametrize("engine_cls", [QueryEngine, ScalarQueryEngine])
+    def test_mutation_raises_and_index_survives(self, engine_cls):
+        engine = engine_cls(cell_size=500.0)
+        engine.sync({"a": np.array([100.0, 100.0]), "b": np.array([900.0, 900.0])}, 0.0)
+        view = engine.position_of("a")
+        np.testing.assert_array_equal(view, [100.0, 100.0])
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 1e9
+        # The attempted write changed nothing: queries still see "a" at home.
+        np.testing.assert_array_equal(engine.position_of("a"), [100.0, 100.0])
+        assert engine.range_query(BoundingBox(0.0, 0.0, 200.0, 200.0)) == ["a"]
+
+
+class TestSyncDropScanSkip:
+    """Unchanged membership skips the drop scan without changing semantics."""
+
+    @pytest.mark.parametrize("engine_cls", [QueryEngine, ScalarQueryEngine])
+    def test_steady_state_never_drops(self, engine_cls):
+        engine = engine_cls(cell_size=500.0)
+        rng = np.random.default_rng(17)
+        positions = _positions(rng, 60)
+        engine.sync(positions, 0.0)
+        for step in range(1, 6):
+            positions = {
+                oid: p + rng.normal(0.0, 40.0, size=2) for oid, p in positions.items()
+            }
+            engine.sync(positions, float(step))
+        assert engine.drops == 0
+        assert len(engine) == 60
+
+    @pytest.mark.parametrize("engine_cls", [QueryEngine, ScalarQueryEngine])
+    def test_equal_length_different_keys_still_drops(self, engine_cls):
+        """Same count but a swapped id must not fool the skip check."""
+        engine = engine_cls(cell_size=500.0)
+        engine.sync({"a": np.array([1.0, 1.0]), "b": np.array([2.0, 2.0])}, 0.0)
+        engine.sync({"a": np.array([1.0, 1.0]), "c": np.array([3.0, 3.0])}, 1.0)
+        assert engine.drops == 1
+        assert sorted(engine.object_ids()) == ["a", "c"]
+        assert engine.range_query(BoundingBox(0.0, 0.0, 10.0, 10.0)) == ["a", "c"]
